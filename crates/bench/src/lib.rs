@@ -1,0 +1,1 @@
+//! placeholder — experiment harness lands here next.

@@ -1,0 +1,340 @@
+//! Per-data-item probability computation for VOTE, ACCU and POPACCU.
+//!
+//! These are pure functions over the candidate values of a single data item:
+//! `cands[i]` holds the (possibly sampled) accuracies of the provenances
+//! supporting value *i*. All three methods assume a single truth per item
+//! (§4.1 — "theoretically invalid for non-functional predicates, but in
+//! practice it performs surprisingly well"), so the returned probabilities
+//! sum to at most 1.
+//!
+//! The numerics are written to reproduce the paper's signature artifacts
+//! exactly:
+//!
+//! * ACCU with one provenance at the default accuracy 0.8 and `N = 100`
+//!   yields `P ≈ 0.80` — but not *exactly* 0.8, because the `N − k`
+//!   unobserved false candidates keep probabilities from "sticking"
+//!   (§4.2).
+//! * POPACCU with one single-triple provenance yields exactly `P = A`
+//!   (the calibration-curve valleys at 0.8, and at 0.5 for two conflicting
+//!   singleton values — Fig. 9).
+
+/// Clamp an accuracy away from 0/1 before taking logs.
+#[inline]
+fn clamp_acc(a: f64) -> f64 {
+    a.clamp(0.01, 0.99)
+}
+
+/// VOTE (§4.1): `P(v) = m(v) / n` over provenance counts.
+pub fn vote(counts: &[usize]) -> Vec<f64> {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&m| m as f64 / n as f64).collect()
+}
+
+/// ACCU ([11], §4.1): Bayesian analysis with `N` uniformly-distributed
+/// false values. `cands[i]` is the accuracy list of value *i*'s
+/// provenances.
+pub fn accu(cands: &[Vec<f64>], n_false: f64) -> Vec<f64> {
+    let k = cands.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Vote score C(v) = Σ ln(N·A/(1−A)).
+    let scores: Vec<f64> = cands
+        .iter()
+        .map(|accs| {
+            accs.iter()
+                .map(|&a| {
+                    let a = clamp_acc(a);
+                    (n_false * a / (1.0 - a)).ln()
+                })
+                .sum()
+        })
+        .collect();
+    // Unobserved false values contribute (N − k) candidates at score 0.
+    let unobserved = (n_false - k as f64).max(0.0);
+    softmax_with_extra_mass(&scores, unobserved)
+}
+
+/// POPACCU ([14], §4.1): like ACCU but the false-value distribution ρ is
+/// estimated from the data instead of assumed uniform. `counts[i]` is the
+/// raw provenance count `n(v)` of value *i* (used for the popularity
+/// estimate), `inner_iters` bounds the per-item fixpoint.
+pub fn popaccu(cands: &[Vec<f64>], counts: &[usize], inner_iters: usize) -> Vec<f64> {
+    let k = cands.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(cands.len(), counts.len());
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; k];
+    }
+
+    // Accuracy log-odds are fixed across the fixpoint.
+    let base_scores: Vec<f64> = cands
+        .iter()
+        .map(|accs| {
+            accs.iter()
+                .map(|&a| {
+                    let a = clamp_acc(a);
+                    (a / (1.0 - a)).ln()
+                })
+                .sum()
+        })
+        .collect();
+
+    // Initialise with the vote shares.
+    let mut probs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+
+    const RHO_FLOOR: f64 = 1e-6;
+    const DELTA: f64 = 1e-3; // popularity smoothing
+    for _ in 0..inner_iters.max(1) {
+        // ρ(v) ∝ n(v)·(1 − P(v)): the expected share of value v among the
+        // *false* observations of this item.
+        let masses: Vec<f64> = counts
+            .iter()
+            .zip(&probs)
+            .map(|(&n, &p)| n as f64 * (1.0 - p) + DELTA)
+            .collect();
+        let mass_total: f64 = masses.iter().sum();
+        let scores: Vec<f64> = base_scores
+            .iter()
+            .zip(&masses)
+            .zip(counts)
+            .map(|((&s, &m), &n)| {
+                let rho = (m / mass_total).max(RHO_FLOOR);
+                s - n as f64 * rho.ln()
+            })
+            .collect();
+        // One unit of extra mass models the unobserved-truth event; it is
+        // what pins the singleton case to P = A exactly:
+        // P = (A/(1−A)) / (A/(1−A) + 1) = A.
+        let new_probs = softmax_with_extra_mass(&scores, 1.0);
+        let delta: f64 = new_probs
+            .iter()
+            .zip(&probs)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        probs = new_probs;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+    probs
+}
+
+/// `exp(scores) / (Σ exp(scores) + extra_mass·exp(0))`, computed stably in
+/// log space.
+fn softmax_with_extra_mass(scores: &[f64], extra_mass: f64) -> Vec<f64> {
+    let max = scores.iter().copied().fold(0.0f64, f64::max); // includes the 0 of extra mass
+    let denom: f64 = scores.iter().map(|&s| (s - max).exp()).sum::<f64>()
+        + extra_mass * (-max).exp();
+    scores.iter().map(|&s| (s - max).exp() / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    // ---------------- VOTE -------------------------------------------------
+
+    #[test]
+    fn vote_is_count_fraction() {
+        // The paper's example: 4 values, one with 7 provenances, three with
+        // 1 each → P = 0.7 for the first.
+        let p = vote(&[7, 1, 1, 1]);
+        assert!(approx(p[0], 0.7, 1e-12));
+        assert!(approx(p[1], 0.1, 1e-12));
+        assert!(approx(p.iter().sum::<f64>(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn vote_single_provenance_gives_one() {
+        // VOTE's failure mode (§4.2): a single provenance yields P = 1,
+        // two conflicting singles yield 0.5 — badly over-confident.
+        assert_eq!(vote(&[1]), vec![1.0]);
+        assert_eq!(vote(&[1, 1]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn vote_empty() {
+        assert!(vote(&[]).is_empty());
+        assert_eq!(vote(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    // ---------------- ACCU -------------------------------------------------
+
+    #[test]
+    fn accu_single_default_provenance_is_near_but_not_exactly_08() {
+        // One provenance, A = 0.8, N = 100:
+        // score = ln(100·0.8/0.2) = ln 400; P = 400/(400+99) ≈ 0.8016.
+        let p = accu(&[vec![0.8]], 100.0);
+        assert!(approx(p[0], 400.0 / 499.0, 1e-9), "got {}", p[0]);
+        assert!(!approx(p[0], 0.8, 1e-4), "ACCU must not stick to exactly A");
+    }
+
+    #[test]
+    fn accu_two_conflicting_singletons() {
+        let p = accu(&[vec![0.8], vec![0.8]], 100.0);
+        assert!(approx(p[0], p[1], 1e-12));
+        // 400/(400+400+98) ≈ 0.445 — near but below 0.5.
+        assert!(p[0] < 0.5 && p[0] > 0.4, "got {}", p[0]);
+    }
+
+    #[test]
+    fn accu_more_support_wins() {
+        let p = accu(&[vec![0.8, 0.8, 0.8], vec![0.8]], 100.0);
+        assert!(p[0] > 0.99, "3-vs-1 should be near-certain, got {}", p[0]);
+        assert!(p[1] < 0.01);
+    }
+
+    #[test]
+    fn accu_high_accuracy_sources_count_more() {
+        // One high-accuracy source vs two low-accuracy sources.
+        let p = accu(&[vec![0.95], vec![0.3, 0.3]], 100.0);
+        assert!(
+            p[0] > p[1],
+            "accurate single {} should beat inaccurate pair {}",
+            p[0],
+            p[1]
+        );
+    }
+
+    #[test]
+    fn accu_probabilities_sum_below_one() {
+        let p = accu(&[vec![0.8], vec![0.7], vec![0.6]], 100.0);
+        let sum: f64 = p.iter().sum();
+        assert!(sum < 1.0 + 1e-12);
+        assert!(sum > 0.5);
+    }
+
+    #[test]
+    fn accu_handles_extreme_accuracies() {
+        // Clamping keeps ln finite even at 0/1.
+        let p = accu(&[vec![1.0], vec![0.0]], 100.0);
+        assert!(p[0] > p[1]);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn accu_many_candidates_beyond_n() {
+        // k > N: unobserved mass floors at zero, still well-defined.
+        let cands: Vec<Vec<f64>> = (0..150).map(|_| vec![0.5]).collect();
+        let p = accu(&cands, 100.0);
+        assert!(p.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!(approx(p.iter().sum::<f64>(), 1.0, 1e-9));
+    }
+
+    // ---------------- POPACCU ----------------------------------------------
+
+    #[test]
+    fn popaccu_singleton_sticks_to_default_accuracy() {
+        // The paper's Fig. 9 valley at exactly 0.8: a single triple from a
+        // single default-accuracy provenance reinforces P = A.
+        let p = popaccu(&[vec![0.8]], &[1], 8);
+        assert!(approx(p[0], 0.8, 1e-9), "got {}", p[0]);
+    }
+
+    #[test]
+    fn popaccu_two_conflicting_singletons_near_half() {
+        // Fig. 9's second valley (predicted 0.5).
+        let p = popaccu(&[vec![0.8], vec![0.8]], &[1, 1], 8);
+        assert!(approx(p[0], p[1], 1e-12));
+        assert!((0.4..=0.5).contains(&p[0]), "got {}", p[0]);
+    }
+
+    #[test]
+    fn popaccu_popular_false_values_are_discounted_vs_accu() {
+        // A value with many provenances of mediocre accuracy vs a value
+        // with a few high-accuracy ones: POPACCU discounts the popular
+        // value compared to ACCU because its popularity feeds ρ.
+        let popular: Vec<f64> = vec![0.5; 10];
+        let niche = vec![0.9, 0.9];
+        let p_accu = accu(&[popular.clone(), niche.clone()], 100.0);
+        let p_pop = popaccu(&[popular, niche], &[10, 2], 8);
+        let ratio_accu = p_accu[0] / p_accu[1].max(1e-12);
+        let ratio_pop = p_pop[0] / p_pop[1].max(1e-12);
+        assert!(
+            ratio_pop < ratio_accu,
+            "POPACCU should discount popularity: accu ratio {ratio_accu}, popaccu ratio {ratio_pop}"
+        );
+    }
+
+    #[test]
+    fn popaccu_more_support_wins() {
+        let p = popaccu(&[vec![0.8, 0.8, 0.8, 0.8], vec![0.8]], &[4, 1], 8);
+        assert!(p[0] > 0.9, "got {}", p[0]);
+        assert!(p[1] < 0.1);
+    }
+
+    #[test]
+    fn popaccu_is_stable_and_bounded() {
+        let cands: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![0.2 + (i as f64) * 0.03; (i % 5) + 1])
+            .collect();
+        let counts: Vec<usize> = (0..20).map(|i| (i % 5) + 1).collect();
+        let p = popaccu(&cands, &counts, 16);
+        assert!(p.iter().all(|x| x.is_finite() && (0.0..=1.0).contains(x)));
+        assert!(p.iter().sum::<f64>() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn popaccu_empty_and_degenerate() {
+        assert!(popaccu(&[], &[], 4).is_empty());
+        let p = popaccu(&[vec![]], &[0], 4);
+        assert_eq!(p, vec![0.0]);
+    }
+
+    #[test]
+    fn popaccu_inner_iterations_converge() {
+        // Result after 8 inner iterations ≈ result after 64.
+        let cands = vec![vec![0.7, 0.6], vec![0.8], vec![0.55; 5]];
+        let counts = vec![2, 1, 5];
+        let a = popaccu(&cands, &counts, 8);
+        let b = popaccu(&cands, &counts, 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(approx(*x, *y, 1e-3), "{x} vs {y}");
+        }
+    }
+
+    // ---------------- cross-method ------------------------------------------
+
+    #[test]
+    fn monotone_in_support_for_all_methods() {
+        // Adding a supporting provenance never hurts a value.
+        for k in 1..6usize {
+            let weak: Vec<Vec<f64>> = vec![vec![0.8; k], vec![0.8]];
+            let strong: Vec<Vec<f64>> = vec![vec![0.8; k + 1], vec![0.8]];
+            assert!(accu(&strong, 100.0)[0] >= accu(&weak, 100.0)[0]);
+            assert!(
+                popaccu(&strong, &[k + 1, 1], 8)[0] >= popaccu(&weak, &[k, 1], 8)[0] - 1e-9
+            );
+            assert!(vote(&[k + 1, 1])[0] >= vote(&[k, 1])[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_extra_mass_normalises() {
+        let p = softmax_with_extra_mass(&[1.0, 2.0], 3.0);
+        let explicit: f64 = p.iter().sum();
+        assert!(explicit < 1.0);
+        // Reconstruct the implicit mass: scores e^1, e^2, extra 3·e^0.
+        let denom = 1f64.exp() + 2f64.exp() + 3.0;
+        assert!(approx(p[0], 1f64.exp() / denom, 1e-12));
+        assert!(approx(p[1], 2f64.exp() / denom, 1e-12));
+    }
+
+    #[test]
+    fn softmax_handles_huge_scores() {
+        let p = softmax_with_extra_mass(&[800.0, 1.0], 100.0);
+        assert!(approx(p[0], 1.0, 1e-9));
+        assert!(p[1] >= 0.0 && p[1] < 1e-12);
+    }
+}

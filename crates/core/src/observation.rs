@@ -1,0 +1,316 @@
+//! Grouping raw extractions into the structures the fusion rounds operate
+//! on: per-data-item value groups and the provenance registry.
+//!
+//! This is Stage I's shuffle (map by data item) plus the provenance
+//! dimension-reduction of §4.1 — an *(Extractor, URL)* pair (or a coarser /
+//! finer key, §4.3.1) becomes a dense integer id with an accuracy slot.
+//! The grouping is built once per fusion run with a MapReduce pass and then
+//! shared (read-only) by all rounds; only the accuracy array mutates
+//! between rounds.
+
+use kf_mapreduce::{map_reduce, Emitter, MrConfig};
+use kf_types::{
+    DataItem, Extraction, FxHashMap, FxHashSet, Granularity, ProvenanceKey, Triple, Value,
+};
+
+/// One candidate value of a data item with its supporting provenances.
+#[derive(Debug, Clone)]
+pub struct ValueGroup {
+    /// The candidate value.
+    pub value: Value,
+    /// Dense provenance ids supporting it (deduplicated, sorted).
+    pub provs: Vec<u32>,
+    /// Distinct extractors supporting it (Fig. 18's second axis).
+    pub n_extractors: u16,
+    /// Distinct pages supporting it (Fig. 7's axis).
+    pub n_pages: u32,
+}
+
+/// All candidate values observed for one data item.
+#[derive(Debug, Clone)]
+pub struct ItemGroup {
+    /// The data item.
+    pub item: DataItem,
+    /// Candidate values, sorted by value for determinism.
+    pub values: Vec<ValueGroup>,
+}
+
+impl ItemGroup {
+    /// Total provenance count over all values (VOTE's denominator `n`).
+    pub fn total_provenances(&self) -> usize {
+        self.values.iter().map(|v| v.provs.len()).sum()
+    }
+
+    /// The triple for value index `vi`.
+    pub fn triple(&self, vi: usize) -> Triple {
+        Triple::new(self.item.subject, self.item.predicate, self.values[vi].value)
+    }
+}
+
+/// Registry of provenances at the configured granularity.
+#[derive(Debug, Clone)]
+pub struct ProvRegistry {
+    /// The keys, indexed by dense id.
+    pub keys: Vec<ProvenanceKey>,
+    /// Number of unique triples each provenance supports (its *coverage*
+    /// in §4.3.2 terms).
+    pub support: Vec<u32>,
+    /// Current accuracy estimate.
+    pub accuracy: Vec<f64>,
+    /// Whether the accuracy has ever been re-evaluated from data (true) or
+    /// still carries its initial value (false). Drives refinement I.
+    pub evaluated: Vec<bool>,
+}
+
+impl ProvRegistry {
+    /// Number of provenances.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Reset all accuracies to `a` and clear evaluation flags.
+    pub fn reset_accuracy(&mut self, a: f64) {
+        for slot in &mut self.accuracy {
+            *slot = a;
+        }
+        for e in &mut self.evaluated {
+            *e = false;
+        }
+    }
+}
+
+/// The full grouped view of a batch.
+#[derive(Debug, Clone)]
+pub struct Grouped {
+    /// Item groups, sorted by data item.
+    pub items: Vec<ItemGroup>,
+    /// Provenance registry.
+    pub provs: ProvRegistry,
+}
+
+impl Grouped {
+    /// Build the grouped view of `batch` at `granularity` using the
+    /// MapReduce engine.
+    pub fn build(batch: &[Extraction], granularity: Granularity, mr: &MrConfig) -> Grouped {
+        // ---- Pass A: the provenance registry ------------------------------
+        // Distinct provenance keys, sorted for dense-id determinism.
+        let mut keys: Vec<ProvenanceKey> = map_reduce(
+            mr,
+            batch,
+            |e: &Extraction, emit: &mut Emitter<ProvenanceKey, ()>| {
+                emit.emit(
+                    ProvenanceKey::at(granularity, &e.provenance, e.triple.predicate),
+                    (),
+                );
+            },
+            |k, _vs| vec![*k],
+        );
+        keys.sort_unstable();
+        let key_index: FxHashMap<ProvenanceKey, u32> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
+
+        // ---- Pass B: group by data item ------------------------------------
+        // Emit (item, (value, prov_id, extractor, page)); reduce into
+        // deduplicated value groups.
+        type Obs = (Value, u32, u16, u32);
+        let mut items: Vec<ItemGroup> = map_reduce(
+            mr,
+            batch,
+            |e: &Extraction, emit: &mut Emitter<DataItem, Obs>| {
+                let pid = key_index
+                    [&ProvenanceKey::at(granularity, &e.provenance, e.triple.predicate)];
+                emit.emit(
+                    e.triple.data_item(),
+                    (
+                        e.triple.object,
+                        pid,
+                        e.provenance.extractor.raw(),
+                        e.provenance.page.raw(),
+                    ),
+                );
+            },
+            |item, observations| {
+                let mut by_value: FxHashMap<Value, (FxHashSet<u32>, FxHashSet<u16>, FxHashSet<u32>)> =
+                    FxHashMap::default();
+                for (value, pid, ext, page) in observations {
+                    let slot = by_value.entry(value).or_default();
+                    slot.0.insert(pid);
+                    slot.1.insert(ext);
+                    slot.2.insert(page);
+                }
+                let mut values: Vec<ValueGroup> = by_value
+                    .into_iter()
+                    .map(|(value, (pids, exts, pages))| {
+                        let mut provs: Vec<u32> = pids.into_iter().collect();
+                        provs.sort_unstable();
+                        ValueGroup {
+                            value,
+                            provs,
+                            n_extractors: exts.len() as u16,
+                            n_pages: pages.len() as u32,
+                        }
+                    })
+                    .collect();
+                values.sort_unstable_by_key(|v| v.value);
+                vec![ItemGroup { item: *item, values }]
+            },
+        );
+        // The engine only orders keys within a shuffle partition; sort
+        // globally so output order is independent of the partition count.
+        items.sort_unstable_by_key(|g| g.item);
+
+        // ---- Support counts -------------------------------------------------
+        // A provenance's support is the number of unique triples it
+        // contributes (the (value, prov) pairs are already deduplicated).
+        let mut support = vec![0u32; keys.len()];
+        for group in &items {
+            for vg in &group.values {
+                for &pid in &vg.provs {
+                    support[pid as usize] += 1;
+                }
+            }
+        }
+
+        let n = keys.len();
+        Grouped {
+            items,
+            provs: ProvRegistry {
+                keys,
+                support,
+                accuracy: vec![0.0; n],
+                evaluated: vec![false; n],
+            },
+        }
+    }
+
+    /// Total number of unique triples.
+    pub fn n_triples(&self) -> usize {
+        self.items.iter().map(|g| g.values.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_types::{EntityId, ExtractorId, PageId, PatternId, PredicateId, Provenance, SiteId};
+
+    fn ext(s: u32, p: u32, o: u32, extractor: u16, page: u32) -> Extraction {
+        Extraction::new(
+            Triple::new(EntityId(s), PredicateId(p), Value::Entity(EntityId(o))),
+            Provenance::new(
+                ExtractorId(extractor),
+                PageId(page),
+                SiteId(page / 10),
+                PatternId::NONE,
+            ),
+        )
+    }
+
+    fn build(batch: &[Extraction]) -> Grouped {
+        Grouped::build(batch, Granularity::ExtractorPage, &MrConfig::sequential())
+    }
+
+    #[test]
+    fn groups_by_item_and_value() {
+        let batch = vec![
+            ext(1, 1, 10, 0, 100),
+            ext(1, 1, 10, 1, 101), // same triple, second provenance
+            ext(1, 1, 11, 0, 100), // conflicting value
+            ext(2, 1, 10, 0, 100), // different item
+        ];
+        let g = build(&batch);
+        assert_eq!(g.items.len(), 2);
+        assert_eq!(g.n_triples(), 3);
+        let first = &g.items[0];
+        assert_eq!(first.item, DataItem::new(EntityId(1), PredicateId(1)));
+        assert_eq!(first.values.len(), 2);
+        let v10 = first
+            .values
+            .iter()
+            .find(|v| v.value == Value::Entity(EntityId(10)))
+            .unwrap();
+        assert_eq!(v10.provs.len(), 2);
+        assert_eq!(v10.n_extractors, 2);
+        assert_eq!(v10.n_pages, 2);
+        assert_eq!(first.total_provenances(), 3);
+    }
+
+    #[test]
+    fn duplicate_extractions_are_deduplicated() {
+        // The same (triple, provenance) seen twice counts once.
+        let batch = vec![ext(1, 1, 10, 0, 100), ext(1, 1, 10, 0, 100)];
+        let g = build(&batch);
+        assert_eq!(g.items[0].values[0].provs.len(), 1);
+        assert_eq!(g.provs.support, vec![1]);
+    }
+
+    #[test]
+    fn support_counts_unique_triples() {
+        // Provenance (0, page 100) supports two different triples.
+        let batch = vec![ext(1, 1, 10, 0, 100), ext(2, 1, 10, 0, 100)];
+        let g = build(&batch);
+        assert_eq!(g.provs.len(), 1);
+        assert_eq!(g.provs.support[0], 2);
+    }
+
+    #[test]
+    fn granularity_merges_provenances() {
+        // Two pages on the same site merge at site granularity.
+        let batch = vec![ext(1, 1, 10, 0, 100), ext(1, 1, 10, 0, 101)];
+        let page_g = Grouped::build(&batch, Granularity::ExtractorPage, &MrConfig::sequential());
+        let site_g = Grouped::build(&batch, Granularity::ExtractorSite, &MrConfig::sequential());
+        assert_eq!(page_g.provs.len(), 2);
+        assert_eq!(site_g.provs.len(), 1);
+        assert_eq!(page_g.items[0].values[0].provs.len(), 2);
+        assert_eq!(site_g.items[0].values[0].provs.len(), 1);
+        // Page-level detail (n_pages) survives the merge.
+        assert_eq!(site_g.items[0].values[0].n_pages, 2);
+    }
+
+    #[test]
+    fn groups_are_sorted_and_deterministic() {
+        let batch: Vec<Extraction> = (0..200)
+            .map(|i| ext(i % 13, i % 3, i % 7, (i % 4) as u16, i))
+            .collect();
+        let a = build(&batch);
+        let b = Grouped::build(&batch, Granularity::ExtractorPage, &MrConfig::with_workers(7));
+        assert_eq!(a.items.len(), b.items.len());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.item, y.item);
+            assert_eq!(x.values.len(), y.values.len());
+            for (vx, vy) in x.values.iter().zip(&y.values) {
+                assert_eq!(vx.value, vy.value);
+                assert_eq!(vx.provs, vy.provs);
+            }
+        }
+        // Sorted by data item.
+        assert!(a.items.windows(2).all(|w| w[0].item <= w[1].item));
+    }
+
+    #[test]
+    fn empty_batch_builds_empty_grouping() {
+        let g = build(&[]);
+        assert!(g.items.is_empty());
+        assert!(g.provs.is_empty());
+        assert_eq!(g.n_triples(), 0);
+    }
+
+    #[test]
+    fn registry_reset() {
+        let batch = vec![ext(1, 1, 10, 0, 100)];
+        let mut g = build(&batch);
+        g.provs.accuracy[0] = 0.3;
+        g.provs.evaluated[0] = true;
+        g.provs.reset_accuracy(0.8);
+        assert_eq!(g.provs.accuracy[0], 0.8);
+        assert!(!g.provs.evaluated[0]);
+    }
+}

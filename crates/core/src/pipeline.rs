@@ -1,0 +1,720 @@
+//! The three-stage iterative fusion pipeline (Fig. 8).
+//!
+//! * **Stage I** — partition by data item, compute triple probabilities
+//!   from the current provenance accuracies (VOTE / ACCU / POPACCU).
+//! * **Stage II** — partition by provenance, re-estimate each provenance's
+//!   accuracy as the mean probability of (a sample of) its triples.
+//! * Iterate I ↔ II until convergence or `R` rounds (the paper forces
+//!   termination at `R = 5`), then
+//! * **Stage III** — output deduplicated scored triples.
+//!
+//! The refinements of §4.3 hook in here: granularity is applied when the
+//! provenance registry is built; the coverage filter restricts round 1 to
+//! multiply-supported items and drops never-evaluated provenances
+//! afterwards; the accuracy threshold deactivates low-quality provenances
+//! with a mean-accuracy fallback; and the gold standard can seed the
+//! initial accuracies (semi-supervised POPACCU+).
+
+use crate::config::{FusionConfig, InitAccuracy, Method};
+use crate::methods;
+use crate::observation::{Grouped, ItemGroup};
+use crate::result::{FusionOutput, ScoredTriple};
+use kf_mapreduce::{map_reduce_with_stats, Emitter, IterativeDriver, JobStats, Reservoir};
+use kf_types::{hash, Extraction, ExtractionBatch, GoldStandard, Label};
+
+/// The fusion engine. Construct with a [`FusionConfig`], then call
+/// [`Fuser::run`] on a batch of extractions (optionally with a gold
+/// standard for the semi-supervised initialisation).
+#[derive(Debug, Clone, Default)]
+pub struct Fuser {
+    config: FusionConfig,
+}
+
+impl Fuser {
+    /// A fuser with the given configuration.
+    pub fn new(config: FusionConfig) -> Self {
+        Fuser { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// Run fusion over `batch`. `gold` is only consulted when the
+    /// configuration asks for gold-standard accuracy initialisation; pass
+    /// `None` for fully unsupervised runs.
+    pub fn run(&self, batch: &ExtractionBatch, gold: Option<&GoldStandard>) -> FusionOutput {
+        self.run_records(&batch.records, gold)
+    }
+
+    /// [`Fuser::run`] over a raw record slice.
+    pub fn run_records(
+        &self,
+        records: &[Extraction],
+        gold: Option<&GoldStandard>,
+    ) -> FusionOutput {
+        let cfg = &self.config;
+        let mut grouped = Grouped::build(records, cfg.granularity, &cfg.mr);
+        let mut stats = JobStats::new(records.len() as u64);
+
+        // ---- Accuracy initialisation (§4.3.3) -----------------------------
+        grouped.provs.reset_accuracy(cfg.default_accuracy);
+        if let InitAccuracy::FromGold { sample_rate } = cfg.init {
+            if let Some(gold) = gold {
+                init_accuracy_from_gold(
+                    &mut grouped,
+                    gold,
+                    sample_rate,
+                    cfg.default_accuracy,
+                    cfg.seed,
+                );
+            }
+        }
+
+        // Per-(item, value) probability slots, flattened.
+        let mut offsets = Vec::with_capacity(grouped.items.len() + 1);
+        offsets.push(0usize);
+        for g in &grouped.items {
+            offsets.push(offsets.last().unwrap() + g.values.len());
+        }
+        let n_slots = *offsets.last().unwrap();
+        let mut probs: Vec<Option<f64>> = vec![None; n_slots];
+        let mut fallback_flags: Vec<bool> = vec![false; n_slots];
+
+        // ---- Iterate Stage I ↔ Stage II ------------------------------------
+        let driver = IterativeDriver {
+            max_rounds: cfg.rounds.max(1),
+            tolerance: cfg.tolerance,
+        };
+        let mut round_deltas = Vec::with_capacity(cfg.rounds);
+        let outcome = driver.run(|round| {
+            // Stage I: probabilities from current accuracies.
+            let (stage1, s1_stats) = self.stage_one(&grouped, &offsets, round);
+            stats.merge(&s1_stats);
+            for (slot, p, fb) in stage1 {
+                probs[slot] = p;
+                fallback_flags[slot] = fb;
+            }
+
+            // VOTE runs a single stage-I pass; no accuracy iteration.
+            if !cfg.method.iterative() {
+                round_deltas.push(0.0);
+                return 0.0;
+            }
+
+            // Stage II: accuracies from probabilities.
+            let (delta, s2_stats) = self.stage_two(&mut grouped, &offsets, &probs, round);
+            stats.merge(&s2_stats);
+            round_deltas.push(delta);
+            delta
+        });
+
+        // ---- Stage III: deduplicated output --------------------------------
+        let mut scored = Vec::with_capacity(n_slots);
+        for (gi, group) in grouped.items.iter().enumerate() {
+            for (vi, vg) in group.values.iter().enumerate() {
+                let slot = offsets[gi] + vi;
+                scored.push(ScoredTriple {
+                    triple: group.triple(vi),
+                    probability: probs[slot],
+                    n_provenances: vg.provs.len() as u32,
+                    n_extractors: vg.n_extractors,
+                    n_pages: vg.n_pages,
+                    fallback: fallback_flags[slot],
+                });
+            }
+        }
+
+        FusionOutput {
+            scored,
+            outcome,
+            round_deltas,
+            n_provenances: grouped.provs.len(),
+            stats,
+        }
+    }
+
+    /// Stage I: compute per-slot probabilities. Returns
+    /// `(slot, probability, fallback_flag)` tuples.
+    fn stage_one(
+        &self,
+        grouped: &Grouped,
+        offsets: &[usize],
+        round: usize,
+    ) -> (Vec<(usize, Option<f64>, bool)>, JobStats) {
+        let cfg = &self.config;
+        let provs = &grouped.provs;
+        let coverage_filtering = cfg.filter_by_coverage;
+        let threshold = cfg.accuracy_threshold;
+
+        // A provenance is *active* when it survives the refinements.
+        let active = |pid: u32| -> bool {
+            let i = pid as usize;
+            if coverage_filtering && round > 0 && !provs.evaluated[i] {
+                return false;
+            }
+            if let Some(theta) = threshold {
+                // The threshold applies to evaluated accuracies; an
+                // unevaluated provenance still carries the default.
+                if provs.accuracy[i] < theta {
+                    return false;
+                }
+            }
+            true
+        };
+
+        let indices: Vec<usize> = (0..grouped.items.len()).collect();
+        let (out, stats) = map_reduce_with_stats(
+            &cfg.mr,
+            &indices,
+            |&gi, emit: &mut Emitter<usize, Vec<(usize, Option<f64>, bool)>>| {
+                let group = &grouped.items[gi];
+                let slot0 = offsets[gi];
+                let results = self.score_item(group, grouped, round, slot0, &active);
+                emit.emit(gi, results);
+            },
+            |_gi, mut vs| vs.pop().into_iter().collect(),
+        );
+        (out.into_iter().flatten().collect(), stats)
+    }
+
+    /// Score one data item under the configured method and filters.
+    fn score_item(
+        &self,
+        group: &ItemGroup,
+        grouped: &Grouped,
+        round: usize,
+        slot0: usize,
+        active: &dyn Fn(u32) -> bool,
+    ) -> Vec<(usize, Option<f64>, bool)> {
+        let cfg = &self.config;
+        let provs = &grouped.provs;
+
+        // Coverage filter, round 1 (§4.3.2): only score items where at
+        // least one triple has more than one provenance, so that the
+        // subsequent accuracy evaluation rests on non-trivial evidence.
+        // Items whose provenances already carry informative (gold-seeded)
+        // accuracies are exempt — those are exactly the provenances the
+        // filter exists to protect against.
+        if cfg.filter_by_coverage
+            && round == 0
+            && cfg.method.iterative()
+            && !group.values.iter().any(|v| v.provs.len() > 1)
+            && !group
+                .values
+                .iter()
+                .any(|v| v.provs.iter().any(|&p| provs.evaluated[p as usize]))
+        {
+            return (0..group.values.len())
+                .map(|vi| (slot0 + vi, None, false))
+                .collect();
+        }
+
+        // Active provenance lists per value (sampled at L).
+        let mut cands: Vec<Vec<f64>> = Vec::with_capacity(group.values.len());
+        let mut counts: Vec<usize> = Vec::with_capacity(group.values.len());
+        for vg in &group.values {
+            let active_pids: Vec<u32> =
+                vg.provs.iter().copied().filter(|&p| active(p)).collect();
+            let sampled = Reservoir::sample_vec(
+                active_pids,
+                cfg.sample_limit,
+                hash::hash_u64(group.item.encode() ^ (round as u64) ^ cfg.seed),
+            );
+            counts.push(sampled.len());
+            cands.push(
+                sampled
+                    .iter()
+                    .map(|&p| provs.accuracy[p as usize])
+                    .collect(),
+            );
+        }
+
+        let any_active = counts.iter().any(|&c| c > 0);
+        if !any_active {
+            // Every provenance was filtered. With an accuracy threshold the
+            // paper compensates with the mean accuracy of the triple's own
+            // provenances; with pure coverage filtering there is no
+            // prediction.
+            return group
+                .values
+                .iter()
+                .enumerate()
+                .map(|(vi, vg)| {
+                    let has_evaluated =
+                        vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
+                    if cfg.accuracy_threshold.is_some() && has_evaluated {
+                        let mean = vg
+                            .provs
+                            .iter()
+                            .map(|&p| provs.accuracy[p as usize])
+                            .sum::<f64>()
+                            / vg.provs.len() as f64;
+                        (slot0 + vi, Some(mean), true)
+                    } else {
+                        (slot0 + vi, None, false)
+                    }
+                })
+                .collect();
+        }
+
+        let probabilities = match cfg.method {
+            Method::Vote => methods::vote(&counts),
+            Method::Accu => methods::accu(&cands, cfg.n_false_values),
+            Method::PopAccu => methods::popaccu(&cands, &counts, cfg.popaccu_inner_iters),
+        };
+
+        group
+            .values
+            .iter()
+            .enumerate()
+            .map(|(vi, vg)| {
+                if counts[vi] == 0 {
+                    // This value's provenances were all filtered even though
+                    // siblings survived: same fallback policy.
+                    let has_evaluated =
+                        vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
+                    if cfg.accuracy_threshold.is_some() && has_evaluated {
+                        let mean = vg
+                            .provs
+                            .iter()
+                            .map(|&p| provs.accuracy[p as usize])
+                            .sum::<f64>()
+                            / vg.provs.len() as f64;
+                        (slot0 + vi, Some(mean), true)
+                    } else {
+                        (slot0 + vi, None, false)
+                    }
+                } else {
+                    (slot0 + vi, Some(probabilities[vi]), false)
+                }
+            })
+            .collect()
+    }
+
+    /// Stage II: re-estimate provenance accuracies as the mean probability
+    /// of (a sample of) their triples. Returns the mean absolute accuracy
+    /// change.
+    fn stage_two(
+        &self,
+        grouped: &mut Grouped,
+        offsets: &[usize],
+        probs: &[Option<f64>],
+        round: usize,
+    ) -> (f64, JobStats) {
+        let cfg = &self.config;
+        let items = &grouped.items;
+        let skip_unevaluated = cfg.filter_by_coverage && round > 0;
+        let evaluated_snapshot = grouped.provs.evaluated.clone();
+
+        let indices: Vec<usize> = (0..items.len()).collect();
+        let (updates, stats) = map_reduce_with_stats(
+            &cfg.mr,
+            &indices,
+            |&gi, emit: &mut Emitter<u32, f64>| {
+                let group = &items[gi];
+                for (vi, vg) in group.values.iter().enumerate() {
+                    let Some(p) = probs[offsets[gi] + vi] else {
+                        continue;
+                    };
+                    for &pid in &vg.provs {
+                        if skip_unevaluated && !evaluated_snapshot[pid as usize] {
+                            continue;
+                        }
+                        emit.emit(pid, p);
+                    }
+                }
+            },
+            |pid, values| {
+                let sampled = Reservoir::sample_vec(
+                    values,
+                    cfg.sample_limit,
+                    hash::hash_u64((*pid as u64) ^ ((round as u64) << 32) ^ cfg.seed),
+                );
+                if sampled.is_empty() {
+                    return Vec::new();
+                }
+                let mean = sampled.iter().sum::<f64>() / sampled.len() as f64;
+                vec![(*pid, mean)]
+            },
+        );
+
+        let mut delta_sum = 0.0;
+        let mut updated = 0usize;
+        for (pid, accuracy) in updates {
+            let i = pid as usize;
+            delta_sum += (grouped.provs.accuracy[i] - accuracy).abs();
+            grouped.provs.accuracy[i] = accuracy.clamp(0.0, 1.0);
+            grouped.provs.evaluated[i] = true;
+            updated += 1;
+        }
+        let delta = if updated == 0 {
+            0.0
+        } else {
+            delta_sum / updated as f64
+        };
+        (delta, stats)
+    }
+}
+
+/// Initialise provenance accuracies from the LCWA gold standard (§4.3.3):
+/// accuracy = fraction of the provenance's gold-labelled triples that are
+/// labelled true, over a `sample_rate` subset of gold items; provenances
+/// with no labelled triples keep the default.
+fn init_accuracy_from_gold(
+    grouped: &mut Grouped,
+    gold: &GoldStandard,
+    sample_rate: f64,
+    default_accuracy: f64,
+    seed: u64,
+) {
+    let n = grouped.provs.len();
+    let mut true_counts = vec![0u32; n];
+    let mut labelled_counts = vec![0u32; n];
+
+    for group in &grouped.items {
+        // Item-level subsampling of the gold standard, deterministic.
+        if sample_rate < 1.0 {
+            let h = hash::hash_u64(group.item.encode() ^ seed ^ 0x00c0_ffee);
+            if (h % 1_000_000) as f64 / 1_000_000.0 >= sample_rate {
+                continue;
+            }
+        }
+        for (vi, vg) in group.values.iter().enumerate() {
+            let label = gold.label(&group.triple(vi));
+            let is_true = match label {
+                Label::True => true,
+                Label::False => false,
+                Label::Unknown => continue,
+            };
+            for &pid in &vg.provs {
+                labelled_counts[pid as usize] += 1;
+                true_counts[pid as usize] += is_true as u32;
+            }
+        }
+    }
+
+    for i in 0..n {
+        if labelled_counts[i] > 0 {
+            grouped.provs.accuracy[i] = true_counts[i] as f64 / labelled_counts[i] as f64;
+            grouped.provs.evaluated[i] = true;
+        } else {
+            grouped.provs.accuracy[i] = default_accuracy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FusionConfig, InitAccuracy, Method};
+    use kf_mapreduce::MrConfig;
+    use kf_types::{
+        DataItem, EntityId, ExtractorId, PageId, PatternId, PredicateId, Provenance, SiteId,
+        Triple, Value,
+    };
+
+    /// Build an extraction with distinct provenance per (extractor, page).
+    fn ext(s: u32, p: u32, o: u32, extractor: u16, page: u32) -> Extraction {
+        Extraction::new(
+            Triple::new(EntityId(s), PredicateId(p), Value::Entity(EntityId(o))),
+            Provenance::new(
+                ExtractorId(extractor),
+                PageId(page),
+                SiteId(page / 10),
+                PatternId::NONE,
+            ),
+        )
+    }
+
+    fn seq(cfg: FusionConfig) -> Fuser {
+        Fuser::new(FusionConfig {
+            mr: MrConfig::sequential(),
+            ..cfg
+        })
+    }
+
+    /// The paper's VOTE example: 7-vs-1-vs-1-vs-1 provenances.
+    #[test]
+    fn vote_probabilities_are_count_fractions() {
+        let mut batch = ExtractionBatch::new();
+        for page in 0..7 {
+            batch.push(ext(1, 1, 10, 0, page));
+        }
+        batch.push(ext(1, 1, 11, 0, 100));
+        batch.push(ext(1, 1, 12, 0, 200));
+        batch.push(ext(1, 1, 13, 0, 300));
+        let out = seq(FusionConfig::vote()).run(&batch, None);
+        let map = out.probability_map();
+        let p10 = map[&Triple::new(EntityId(1), PredicateId(1), Value::Entity(EntityId(10)))];
+        assert!((p10 - 0.7).abs() < 1e-12);
+        assert_eq!(out.scored.len(), 4);
+        assert_eq!(out.predicted_fraction(), 1.0);
+    }
+
+    #[test]
+    fn accu_converges_and_separates_good_from_bad() {
+        // Ten items; provenance "good" (pages 0..10) always agrees with the
+        // majority; provenance "bad" (page 1000) always provides a lone
+        // conflicting value.
+        let mut batch = ExtractionBatch::new();
+        for item in 0..10u32 {
+            for page in 0..5u32 {
+                batch.push(ext(item, 1, 100 + item, 0, page * 10)); // site-spread
+            }
+            batch.push(ext(item, 1, 999, 0, 1000));
+        }
+        let out = seq(FusionConfig::accu()).run(&batch, None);
+        let map = out.probability_map();
+        for item in 0..10u32 {
+            let good = map[&Triple::new(
+                EntityId(item),
+                PredicateId(1),
+                Value::Entity(EntityId(100 + item)),
+            )];
+            let bad =
+                map[&Triple::new(EntityId(item), PredicateId(1), Value::Entity(EntityId(999)))];
+            assert!(good > 0.95, "good triple {good}");
+            assert!(bad < 0.05, "bad triple {bad}");
+        }
+        assert!(out.outcome.rounds() <= 5);
+    }
+
+    #[test]
+    fn popaccu_singleton_valley_is_exactly_default_accuracy() {
+        // One item with a single provenance contributing a single triple:
+        // Fig. 9's valley at exactly 0.8.
+        let batch = ExtractionBatch::from_records(vec![ext(1, 1, 10, 0, 0)]);
+        let out = seq(FusionConfig::popaccu()).run(&batch, None);
+        let p = out.scored[0].probability.unwrap();
+        assert!((p - 0.8).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn methods_run_in_parallel_identically() {
+        let batch: ExtractionBatch = (0..2000)
+            .map(|i| ext(i % 50, i % 3, i % 7, (i % 5) as u16, i % 400))
+            .collect();
+        for cfg in [
+            FusionConfig::vote(),
+            FusionConfig::accu(),
+            FusionConfig::popaccu(),
+        ] {
+            let a = seq(cfg).run(&batch, None);
+            let b = Fuser::new(FusionConfig {
+                mr: MrConfig::with_workers(8),
+                ..cfg
+            })
+            .run(&batch, None);
+            assert_eq!(a.scored.len(), b.scored.len());
+            for (x, y) in a.scored.iter().zip(&b.scored) {
+                assert_eq!(x.triple, y.triple);
+                match (x.probability, y.probability) {
+                    (Some(px), Some(py)) => assert!((px - py).abs() < 1e-12),
+                    (None, None) => {}
+                    other => panic!("prediction mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_filter_leaves_singleton_items_unpredicted() {
+        // Item A: two provenances for the same value (evaluable).
+        // Item B: a single lone extraction (not evaluable).
+        let batch = ExtractionBatch::from_records(vec![
+            ext(1, 1, 10, 0, 0),
+            ext(1, 1, 10, 1, 50),
+            ext(2, 1, 11, 2, 60),
+        ]);
+        let cfg = FusionConfig {
+            filter_by_coverage: true,
+            ..FusionConfig::popaccu()
+        };
+        let out = seq(cfg).run(&batch, None);
+        let b = out
+            .scored
+            .iter()
+            .find(|s| s.triple.subject == EntityId(2))
+            .unwrap();
+        assert_eq!(b.probability, None, "singleton item must be unpredicted");
+        let a = out
+            .scored
+            .iter()
+            .find(|s| s.triple.subject == EntityId(1))
+            .unwrap();
+        assert!(a.probability.is_some());
+        assert!(out.predicted_fraction() < 1.0);
+    }
+
+    #[test]
+    fn accuracy_threshold_triggers_fallback() {
+        // A provenance that is always wrong drops below θ; its lone-item
+        // triple then gets the mean-accuracy fallback instead of None.
+        let mut batch = ExtractionBatch::new();
+        // 20 items where provenance (0, page 0) conflicts with 4 agreeing
+        // provenances → its accuracy crashes.
+        for item in 0..20u32 {
+            for page in 1..5u32 {
+                batch.push(ext(item, 1, 100, 0, page * 10));
+            }
+            batch.push(ext(item, 1, 999, 0, 0));
+        }
+        // One extra item supported *only* by the bad provenance.
+        batch.push(ext(77, 1, 5, 0, 0));
+        let cfg = FusionConfig {
+            accuracy_threshold: Some(0.5),
+            ..FusionConfig::popaccu()
+        };
+        let out = seq(cfg).run(&batch, None);
+        let lonely = out
+            .scored
+            .iter()
+            .find(|s| s.triple.subject == EntityId(77))
+            .unwrap();
+        assert!(lonely.probability.is_some(), "fallback expected");
+        assert!(lonely.fallback);
+        // Fallback value equals the (low) accuracy of its only provenance.
+        assert!(lonely.probability.unwrap() < 0.5);
+    }
+
+    #[test]
+    fn gold_init_steers_accuracies() {
+        // Two provenances, both singleton-per-item; gold says one is right
+        // and the other wrong. With default init both triples score 0.8;
+        // with gold init they separate immediately.
+        let mut batch = ExtractionBatch::new();
+        for item in 0..10u32 {
+            batch.push(ext(item, 1, 100, 0, 0)); // provenance A claims 100
+            batch.push(ext(item, 1, 200, 1, 50)); // provenance B claims 200
+        }
+        let mut gold = GoldStandard::new();
+        for item in 0..10u32 {
+            gold.insert(
+                DataItem::new(EntityId(item), PredicateId(1)),
+                Value::Entity(EntityId(100)),
+            );
+        }
+        let unsup = seq(FusionConfig::popaccu()).run(&batch, None);
+        let sup = seq(FusionConfig {
+            init: InitAccuracy::FromGold { sample_rate: 1.0 },
+            ..FusionConfig::popaccu()
+        })
+        .run(&batch, Some(&gold));
+
+        let t_right = Triple::new(EntityId(0), PredicateId(1), Value::Entity(EntityId(100)));
+        let t_wrong = Triple::new(EntityId(0), PredicateId(1), Value::Entity(EntityId(200)));
+        let unsup_map = unsup.probability_map();
+        let sup_map = sup.probability_map();
+        // Unsupervised: symmetric conflict, both around 0.45.
+        assert!((unsup_map[&t_right] - unsup_map[&t_wrong]).abs() < 0.05);
+        // Supervised: gold breaks the tie decisively.
+        assert!(sup_map[&t_right] > 0.9, "got {}", sup_map[&t_right]);
+        assert!(sup_map[&t_wrong] < 0.1, "got {}", sup_map[&t_wrong]);
+    }
+
+    #[test]
+    fn gold_sample_rate_zero_is_equivalent_to_default_init() {
+        let batch: ExtractionBatch = (0..100)
+            .map(|i| ext(i % 10, 1, i % 4, (i % 3) as u16, i))
+            .collect();
+        let mut gold = GoldStandard::new();
+        gold.insert(
+            DataItem::new(EntityId(0), PredicateId(1)),
+            Value::Entity(EntityId(0)),
+        );
+        let a = seq(FusionConfig {
+            init: InitAccuracy::FromGold { sample_rate: 0.0 },
+            ..FusionConfig::popaccu()
+        })
+        .run(&batch, Some(&gold));
+        let b = seq(FusionConfig::popaccu()).run(&batch, None);
+        for (x, y) in a.scored.iter().zip(&b.scored) {
+            assert_eq!(x.probability, y.probability);
+        }
+    }
+
+    #[test]
+    fn sample_limit_one_thousand_changes_little() {
+        // Fig. 14: L = 1K behaves like L = 1M at (much larger) scale; here
+        // groups are small so the outputs are identical.
+        let batch: ExtractionBatch = (0..3000)
+            .map(|i| ext(i % 100, i % 2, i % 5, (i % 6) as u16, i % 500))
+            .collect();
+        let big = seq(FusionConfig::popaccu()).run(&batch, None);
+        let small = seq(FusionConfig::popaccu().with_sample_limit(1_000)).run(&batch, None);
+        let map_big = big.probability_map();
+        let map_small = small.probability_map();
+        for (t, p) in &map_big {
+            assert!((p - map_small[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_deltas_shrink(){
+        let batch: ExtractionBatch = (0..5000)
+            .map(|i| ext(i % 200, i % 3, i % 6, (i % 8) as u16, i % 700))
+            .collect();
+        let out = seq(FusionConfig::popaccu().with_rounds(5)).run(&batch, None);
+        assert!(!out.round_deltas.is_empty());
+        // Fig. 14: probabilities change a lot in round 1, then stabilise.
+        let first = out.round_deltas[0];
+        let last = *out.round_deltas.last().unwrap();
+        assert!(
+            last <= first,
+            "deltas did not shrink: {:?}",
+            out.round_deltas
+        );
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_output() {
+        let out = seq(FusionConfig::popaccu()).run(&ExtractionBatch::new(), None);
+        assert!(out.scored.is_empty());
+        assert_eq!(out.n_provenances, 0);
+    }
+
+    #[test]
+    fn single_method_all_configs_smoke() {
+        let batch: ExtractionBatch = (0..500)
+            .map(|i| ext(i % 40, i % 4, i % 3, (i % 12) as u16, i % 100))
+            .collect();
+        for cfg in [
+            FusionConfig::vote(),
+            FusionConfig::accu(),
+            FusionConfig::popaccu(),
+            FusionConfig::popaccu_plus_unsup(),
+        ] {
+            let out = seq(cfg).run(&batch, None);
+            assert_eq!(out.scored.len(), batch.unique_triples());
+            for s in &out.scored {
+                if let Some(p) = s.probability {
+                    assert!((0.0..=1.0).contains(&p), "{} out of range", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_per_item_sum_to_at_most_one() {
+        let batch: ExtractionBatch = (0..2000)
+            .map(|i| ext(i % 30, 0, i % 9, (i % 7) as u16, i % 300))
+            .collect();
+        for m in [Method::Vote, Method::Accu, Method::PopAccu] {
+            let out = seq(FusionConfig::popaccu().with_method(m)).run(&batch, None);
+            let mut by_item: std::collections::HashMap<DataItem, f64> =
+                std::collections::HashMap::new();
+            for s in &out.scored {
+                if !s.fallback {
+                    if let Some(p) = s.probability {
+                        *by_item.entry(s.triple.data_item()).or_default() += p;
+                    }
+                }
+            }
+            for (item, sum) in by_item {
+                assert!(sum <= 1.0 + 1e-6, "{m:?} {item:?} sums to {sum}");
+            }
+        }
+    }
+}

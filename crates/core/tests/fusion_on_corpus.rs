@@ -1,0 +1,193 @@
+//! End-to-end fusion over a synthetic corpus: the fused probabilities must
+//! carry real signal (high-probability triples much more accurate than the
+//! raw extraction stream), and the refinement stack must behave as §4.3
+//! describes.
+
+use kf_core::{Fuser, FusionConfig, Method};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::Label;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&SynthConfig::small(), 42)
+}
+
+/// LCWA accuracy of triples in a predicted-probability band.
+fn band_accuracy(
+    corpus: &Corpus,
+    out: &kf_core::FusionOutput,
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    let mut t = 0usize;
+    let mut n = 0usize;
+    for s in &out.scored {
+        let Some(p) = s.probability else { continue };
+        if p < lo || p >= hi {
+            continue;
+        }
+        match corpus.gold.label(&s.triple) {
+            Label::True => {
+                t += 1;
+                n += 1;
+            }
+            Label::False => n += 1,
+            Label::Unknown => {}
+        }
+    }
+    (n >= 30).then(|| t as f64 / n as f64)
+}
+
+#[test]
+fn all_methods_score_every_unique_triple() {
+    let c = corpus();
+    for cfg in [
+        FusionConfig::vote(),
+        FusionConfig::accu(),
+        FusionConfig::popaccu(),
+    ] {
+        let out = Fuser::new(cfg).run(&c.batch, None);
+        assert_eq!(out.scored.len(), c.batch.unique_triples());
+        assert_eq!(out.predicted_fraction(), 1.0);
+    }
+}
+
+#[test]
+fn high_probability_triples_are_much_more_accurate() {
+    let c = corpus();
+    let base = c.lcwa_accuracy();
+    let out = Fuser::new(FusionConfig::popaccu()).run(&c.batch, None);
+    let high = band_accuracy(&c, &out, 0.9, 1.01).expect("enough high-prob triples");
+    let low = band_accuracy(&c, &out, 0.0, 0.1).expect("enough low-prob triples");
+    assert!(
+        high > base + 0.2,
+        "high band {high} should far exceed base rate {base}"
+    );
+    assert!(high > low + 0.3, "high band {high} vs low band {low}");
+}
+
+#[test]
+fn accu_and_popaccu_beat_vote_on_monotonicity() {
+    // Spearman-style check: mean probability of true triples minus mean
+    // probability of false triples — bigger is better separation.
+    let c = corpus();
+    let separation = |m: Method| {
+        let out = Fuser::new(FusionConfig::popaccu().with_method(m)).run(&c.batch, None);
+        let (mut st, mut nt, mut sf, mut nf) = (0.0, 0usize, 0.0, 0usize);
+        for s in &out.scored {
+            let Some(p) = s.probability else { continue };
+            match c.gold.label(&s.triple) {
+                Label::True => {
+                    st += p;
+                    nt += 1;
+                }
+                Label::False => {
+                    sf += p;
+                    nf += 1;
+                }
+                Label::Unknown => {}
+            }
+        }
+        st / nt as f64 - sf / nf as f64
+    };
+    let v = separation(Method::Vote);
+    let a = separation(Method::Accu);
+    let p = separation(Method::PopAccu);
+    assert!(a > v, "ACCU separation {a} should beat VOTE {v}");
+    assert!(p > v, "POPACCU separation {p} should beat VOTE {v}");
+}
+
+#[test]
+fn coverage_filter_costs_some_predictions() {
+    let c = corpus();
+    let plain = Fuser::new(FusionConfig::popaccu()).run(&c.batch, None);
+    let filtered = Fuser::new(FusionConfig {
+        filter_by_coverage: true,
+        ..FusionConfig::popaccu()
+    })
+    .run(&c.batch, None);
+    assert_eq!(plain.predicted_fraction(), 1.0);
+    // Paper: the coverage filter loses ~8.2% of predictions.
+    let f = filtered.predicted_fraction();
+    assert!(f < 1.0, "filter should drop some predictions");
+    assert!(f > 0.5, "filter dropped too much: {f}");
+}
+
+#[test]
+fn finer_granularity_changes_provenance_count() {
+    use kf_types::Granularity;
+    let c = corpus();
+    let page = Fuser::new(FusionConfig::popaccu()).run(&c.batch, None);
+    let site = Fuser::new(
+        FusionConfig::popaccu().with_granularity(Granularity::ExtractorSite),
+    )
+    .run(&c.batch, None);
+    let fine = Fuser::new(
+        FusionConfig::popaccu().with_granularity(Granularity::ExtractorSitePredicatePattern),
+    )
+    .run(&c.batch, None);
+    assert!(
+        site.n_provenances < page.n_provenances,
+        "site-level must merge provenances: {} vs {}",
+        site.n_provenances,
+        page.n_provenances
+    );
+    assert!(
+        fine.n_provenances > site.n_provenances,
+        "predicate+pattern split must refine: {} vs {}",
+        fine.n_provenances,
+        site.n_provenances
+    );
+}
+
+#[test]
+fn popaccu_plus_improves_over_popaccu() {
+    let c = corpus();
+    let base = Fuser::new(FusionConfig::popaccu()).run(&c.batch, None);
+    let plus = Fuser::new(FusionConfig::popaccu_plus()).run(&c.batch, Some(&c.gold));
+
+    // Compare separation of true vs false (probability-weighted).
+    let sep = |out: &kf_core::FusionOutput| {
+        let (mut st, mut nt, mut sf, mut nf) = (0.0, 0usize, 0.0, 0usize);
+        for s in &out.scored {
+            let Some(p) = s.probability else { continue };
+            match c.gold.label(&s.triple) {
+                Label::True => {
+                    st += p;
+                    nt += 1;
+                }
+                Label::False => {
+                    sf += p;
+                    nf += 1;
+                }
+                Label::Unknown => {}
+            }
+        }
+        st / nt.max(1) as f64 - sf / nf.max(1) as f64
+    };
+    let s_base = sep(&base);
+    let s_plus = sep(&plus);
+    assert!(
+        s_plus > s_base,
+        "POPACCU+ separation {s_plus} should beat POPACCU {s_base}"
+    );
+}
+
+#[test]
+fn fusion_is_deterministic_across_runs_and_workers() {
+    let c = Corpus::generate(&SynthConfig::tiny(), 9);
+    let run = |workers| {
+        Fuser::new(FusionConfig::popaccu_plus_unsup().with_workers(workers))
+            .run(&c.batch, None)
+    };
+    let a = run(1);
+    let b = run(8);
+    assert_eq!(a.scored.len(), b.scored.len());
+    for (x, y) in a.scored.iter().zip(&b.scored) {
+        assert_eq!(x.triple, y.triple);
+        match (x.probability, y.probability) {
+            (Some(p), Some(q)) => assert!((p - q).abs() < 1e-12),
+            (None, None) => {}
+            other => panic!("mismatch {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the fusion methods: probabilistic invariants
+//! that must hold for any candidate-set shape.
+
+use kf_core::methods::{accu, popaccu, vote};
+use proptest::prelude::*;
+
+/// Candidate sets: up to 8 values, each with up to 10 provenances whose
+/// accuracies lie in (0, 1).
+fn arb_cands() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.05f64..0.95, 1..10),
+        1..8,
+    )
+}
+
+proptest! {
+    /// All methods produce probabilities in [0, 1] summing to ≤ 1.
+    #[test]
+    fn probabilities_are_valid(cands in arb_cands()) {
+        let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+        for probs in [
+            vote(&counts),
+            accu(&cands, 100.0),
+            popaccu(&cands, &counts, 8),
+        ] {
+            prop_assert_eq!(probs.len(), cands.len());
+            let mut sum = 0.0;
+            for p in &probs {
+                prop_assert!(p.is_finite());
+                prop_assert!((0.0..=1.0 + 1e-9).contains(p), "p = {}", p);
+                sum += p;
+            }
+            prop_assert!(sum <= 1.0 + 1e-6, "sum = {}", sum);
+        }
+    }
+
+    /// Value order does not matter: permuting candidates permutes outputs.
+    #[test]
+    fn permutation_equivariance(cands in arb_cands()) {
+        let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+        let k = cands.len();
+        // Rotate by one.
+        let rot = |v: &Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+            (0..k).map(|i| v[(i + 1) % k].clone()).collect()
+        };
+        let rot_counts: Vec<usize> = (0..k).map(|i| counts[(i + 1) % k]).collect();
+
+        let a = accu(&cands, 100.0);
+        let b = accu(&rot(&cands), 100.0);
+        for i in 0..k {
+            prop_assert!((a[(i + 1) % k] - b[i]).abs() < 1e-9);
+        }
+        let pa = popaccu(&cands, &counts, 8);
+        let pb = popaccu(&rot(&cands), &rot_counts, 8);
+        for i in 0..k {
+            prop_assert!((pa[(i + 1) % k] - pb[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Adding a provenance to a value does not decrease its probability
+    /// (the monotonicity POPACCU is proved to have in [14]).
+    #[test]
+    fn support_monotonicity(cands in arb_cands(), extra in 0.2f64..0.9) {
+        let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+        let mut boosted = cands.clone();
+        boosted[0].push(extra);
+        let mut boosted_counts = counts.clone();
+        boosted_counts[0] += 1;
+
+        // Only sources better than chance add support.
+        if extra > 0.5 {
+            let a0 = accu(&cands, 100.0)[0];
+            let a1 = accu(&boosted, 100.0)[0];
+            prop_assert!(a1 >= a0 - 1e-9, "ACCU: {} -> {}", a0, a1);
+
+            let p0 = popaccu(&cands, &counts, 8)[0];
+            let p1 = popaccu(&boosted, &boosted_counts, 8)[0];
+            prop_assert!(p1 >= p0 - 1e-6, "POPACCU: {} -> {}", p0, p1);
+        }
+    }
+
+    /// VOTE probabilities always sum to exactly 1 over non-empty counts.
+    #[test]
+    fn vote_sums_to_one(counts in prop::collection::vec(1usize..50, 1..10)) {
+        let probs = vote(&counts);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Raising a supporting source's accuracy never hurts the value it
+    /// supports.
+    #[test]
+    fn accuracy_monotonicity(
+        cands in arb_cands(),
+        bump in 0.01f64..0.2,
+    ) {
+        let mut better = cands.clone();
+        better[0][0] = (better[0][0] + bump).min(0.99);
+        let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+
+        let a0 = accu(&cands, 100.0)[0];
+        let a1 = accu(&better, 100.0)[0];
+        prop_assert!(a1 >= a0 - 1e-9);
+
+        let p0 = popaccu(&cands, &counts, 12)[0];
+        let p1 = popaccu(&better, &counts, 12)[0];
+        prop_assert!(p1 >= p0 - 1e-6, "POPACCU: {} -> {}", p0, p1);
+    }
+}

@@ -1,0 +1,1 @@
+//! placeholder — evaluation suite lands here next.

@@ -1,0 +1,150 @@
+//! Round iteration with convergence detection.
+//!
+//! The fusion pipeline alternates Stage I (triple probabilities) and
+//! Stage II (provenance accuracies) *"until convergence"*, but §4.1 notes
+//! that convergence can take many rounds and **forces termination after
+//! `R` rounds (default 5)**; Fig. 14 shows probabilities stabilise after
+//! round 2 anyway. The driver encodes exactly that policy.
+
+/// Why iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundOutcome {
+    /// The per-round delta fell below the tolerance.
+    Converged {
+        /// Rounds actually executed.
+        rounds: usize,
+        /// Final delta.
+        delta: f64,
+    },
+    /// The round budget `R` was exhausted first (the common case at scale).
+    ForcedTermination {
+        /// Rounds executed (== the budget).
+        rounds: usize,
+        /// Delta after the final round.
+        delta: f64,
+    },
+}
+
+impl RoundOutcome {
+    /// Rounds executed.
+    pub fn rounds(&self) -> usize {
+        match *self {
+            RoundOutcome::Converged { rounds, .. } => rounds,
+            RoundOutcome::ForcedTermination { rounds, .. } => rounds,
+        }
+    }
+
+    /// Final delta.
+    pub fn delta(&self) -> f64 {
+        match *self {
+            RoundOutcome::Converged { delta, .. } => delta,
+            RoundOutcome::ForcedTermination { delta, .. } => delta,
+        }
+    }
+
+    /// True when iteration converged before the budget.
+    pub fn converged(&self) -> bool {
+        matches!(self, RoundOutcome::Converged { .. })
+    }
+}
+
+/// Drives an iterative computation: runs `round` up to `max_rounds` times,
+/// stopping early when the returned delta drops below `tolerance`.
+#[derive(Debug, Clone, Copy)]
+pub struct IterativeDriver {
+    /// Forced-termination budget (the paper's `R`, default 5).
+    pub max_rounds: usize,
+    /// Convergence tolerance on the round delta.
+    pub tolerance: f64,
+}
+
+impl Default for IterativeDriver {
+    fn default() -> Self {
+        IterativeDriver {
+            max_rounds: 5,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl IterativeDriver {
+    /// Driver with a round budget and the default tolerance.
+    pub fn with_max_rounds(max_rounds: usize) -> Self {
+        IterativeDriver {
+            max_rounds,
+            ..Default::default()
+        }
+    }
+
+    /// Run `round(round_index) -> delta` until convergence or budget
+    /// exhaustion. The delta of round *i* is any non-negative measure of
+    /// how much state changed (the fusion pipeline uses the mean absolute
+    /// change in provenance accuracy).
+    pub fn run(&self, mut round: impl FnMut(usize) -> f64) -> RoundOutcome {
+        let mut delta = f64::INFINITY;
+        for i in 0..self.max_rounds {
+            delta = round(i);
+            debug_assert!(delta >= 0.0, "round delta must be non-negative");
+            if delta < self.tolerance {
+                return RoundOutcome::Converged {
+                    rounds: i + 1,
+                    delta,
+                };
+            }
+        }
+        RoundOutcome::ForcedTermination {
+            rounds: self.max_rounds,
+            delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_decaying_delta() {
+        let driver = IterativeDriver {
+            max_rounds: 50,
+            tolerance: 1e-3,
+        };
+        let outcome = driver.run(|i| 1.0 / (1 << i) as f64);
+        assert!(outcome.converged());
+        // 1/2^10 < 1e-3 ⇒ 11 rounds (i = 10).
+        assert_eq!(outcome.rounds(), 11);
+    }
+
+    #[test]
+    fn forced_termination_after_budget() {
+        let driver = IterativeDriver::with_max_rounds(5);
+        let outcome = driver.run(|_| 1.0);
+        assert!(!outcome.converged());
+        assert_eq!(outcome.rounds(), 5);
+        assert_eq!(outcome.delta(), 1.0);
+    }
+
+    #[test]
+    fn zero_delta_converges_immediately() {
+        let driver = IterativeDriver::default();
+        let outcome = driver.run(|_| 0.0);
+        assert!(outcome.converged());
+        assert_eq!(outcome.rounds(), 1);
+    }
+
+    #[test]
+    fn rounds_receive_their_index() {
+        let mut seen = Vec::new();
+        let driver = IterativeDriver::with_max_rounds(3);
+        driver.run(|i| {
+            seen.push(i);
+            1.0
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_matches_paper_r5() {
+        assert_eq!(IterativeDriver::default().max_rounds, 5);
+    }
+}

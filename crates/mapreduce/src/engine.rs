@@ -1,0 +1,365 @@
+//! The map → shuffle → reduce execution engine.
+
+use crate::stats::JobStats;
+use kf_types::hash::hash_one;
+use kf_types::FxHashMap;
+use std::hash::Hash;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrConfig {
+    /// Number of worker threads for the map and reduce phases.
+    pub workers: usize,
+    /// Number of shuffle partitions. More partitions smooth out key skew at
+    /// the cost of per-partition overhead; defaults to `4 × workers`.
+    pub partitions: usize,
+}
+
+impl Default for MrConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        MrConfig {
+            workers,
+            partitions: workers * 4,
+        }
+    }
+}
+
+impl MrConfig {
+    /// A single-threaded configuration; useful for debugging and for
+    /// baseline measurements in the scaling benches.
+    pub fn sequential() -> Self {
+        MrConfig {
+            workers: 1,
+            partitions: 1,
+        }
+    }
+
+    /// Configuration with `workers` threads and the default partition ratio.
+    pub fn with_workers(workers: usize) -> Self {
+        MrConfig {
+            workers: workers.max(1),
+            partitions: workers.max(1) * 4,
+        }
+    }
+}
+
+/// Collects `(key, value)` records emitted by a mapper and routes them to
+/// shuffle partitions by key hash.
+pub struct Emitter<K, V> {
+    buffers: Vec<Vec<(K, V)>>,
+    emitted: u64,
+}
+
+impl<K: Hash, V> Emitter<K, V> {
+    fn new(partitions: usize) -> Self {
+        Emitter {
+            buffers: (0..partitions).map(|_| Vec::new()).collect(),
+            emitted: 0,
+        }
+    }
+
+    /// Emit one record.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        let p = (hash_one(&key) as usize) % self.buffers.len();
+        self.buffers[p].push((key, value));
+        self.emitted += 1;
+    }
+}
+
+/// Run a MapReduce job.
+///
+/// * `inputs` — the input records; read-only, shared across map workers.
+/// * `mapper` — called once per input with an [`Emitter`]; may emit any
+///   number of `(key, value)` records.
+/// * `reducer` — called once per distinct key with all its values (in a
+///   deterministic order: values are ordered by input index); returns the
+///   output records for that key.
+///
+/// Output records are returned grouped by partition and sorted by key within
+/// each partition, so the overall output is deterministic.
+pub fn map_reduce<I, K, V, O, M, R>(
+    cfg: &MrConfig,
+    inputs: &[I],
+    mapper: M,
+    reducer: R,
+) -> Vec<O>
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    map_reduce_with_stats(cfg, inputs, mapper, reducer).0
+}
+
+/// [`map_reduce`] variant that also returns execution counters.
+pub fn map_reduce_with_stats<I, K, V, O, M, R>(
+    cfg: &MrConfig,
+    inputs: &[I],
+    mapper: M,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    let workers = cfg.workers.max(1);
+    let partitions = cfg.partitions.max(1);
+    let mut stats = JobStats::new(inputs.len() as u64);
+
+    // ---- Map phase -------------------------------------------------------
+    // Each worker maps a contiguous chunk of the input into its own set of
+    // per-partition buffers; no locks on the hot path.
+    let chunk_size = inputs.len().div_ceil(workers).max(1);
+    let mut worker_outputs: Vec<Emitter<K, V>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let mapper = &mapper;
+                scope.spawn(move || {
+                    let mut emitter = Emitter::new(partitions);
+                    for input in chunk {
+                        mapper(input, &mut emitter);
+                    }
+                    emitter
+                })
+            })
+            .collect();
+        for h in handles {
+            worker_outputs.push(h.join().expect("map worker panicked"));
+        }
+    });
+    stats.map_output = worker_outputs.iter().map(|e| e.emitted).sum();
+
+    // ---- Shuffle ---------------------------------------------------------
+    // Concatenate each partition's buffers in worker order. Because workers
+    // own contiguous input chunks, values for a key end up ordered by input
+    // index — a deterministic order independent of scheduling.
+    let mut partition_records: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for emitter in worker_outputs {
+        for (p, buf) in emitter.buffers.into_iter().enumerate() {
+            partition_records[p].extend(buf);
+        }
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    // Workers steal whole partitions off a shared index. Keys are reduced in
+    // sorted order within a partition for deterministic output; partition
+    // results are re-assembled in partition order at the end.
+    let next_partition = std::sync::atomic::AtomicUsize::new(0);
+    // Partition data sits in Mutex<Option<..>> slots so exactly one worker
+    // takes each partition; contention is one lock acquisition per
+    // partition, not per record.
+    let partition_slots: Vec<parking_lot::Mutex<Option<Vec<(K, V)>>>> = partition_records
+        .into_iter()
+        .map(|records| parking_lot::Mutex::new(Some(records)))
+        .collect();
+
+    let mut results: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(partitions);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next_partition;
+                let reducer = &reducer;
+                let slots = &partition_slots;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<O>, u64)> = Vec::new();
+                    loop {
+                        let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if p >= slots.len() {
+                            break;
+                        }
+                        let records = slots[p].lock().take().expect("partition taken twice");
+                        let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                        for (k, v) in records {
+                            groups.entry(k).or_default().push(v);
+                        }
+                        let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+                        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                        let n_keys = keyed.len() as u64;
+                        let mut out = Vec::new();
+                        for (k, vs) in keyed {
+                            out.extend(reducer(&k, vs));
+                        }
+                        local.push((p, out, n_keys));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("reduce worker panicked"));
+        }
+    });
+    results.sort_unstable_by_key(|r| r.0);
+
+    let mut output = Vec::new();
+    for (_, out, n_keys) in results {
+        stats.reduce_keys += n_keys;
+        stats.reduce_output += out.len() as u64;
+        output.extend(out);
+    }
+    (output, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic word count over synthetic "documents".
+    fn word_count(cfg: &MrConfig, docs: &[&str]) -> Vec<(String, usize)> {
+        map_reduce(
+            cfg,
+            docs,
+            |doc: &&str, emit: &mut Emitter<String, usize>| {
+                for word in doc.split_whitespace() {
+                    emit.emit(word.to_string(), 1);
+                }
+            },
+            |word, counts| vec![(word.clone(), counts.len())],
+        )
+    }
+
+    #[test]
+    fn word_count_basic() {
+        let docs = ["a b a", "b c", "a"];
+        let mut out = word_count(&MrConfig::sequential(), &docs);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let docs: Vec<String> = (0..500)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 13))
+            .collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let mut seq = word_count(&MrConfig::sequential(), &doc_refs);
+        let mut par = word_count(&MrConfig::with_workers(8), &doc_refs);
+        seq.sort();
+        par.sort();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs() {
+        let inputs: Vec<u64> = (0..10_000).collect();
+        let run = || {
+            map_reduce(
+                &MrConfig::with_workers(6),
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 97, x),
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn values_arrive_in_input_order() {
+        // Reducer sees values ordered by input index even with many workers.
+        let inputs: Vec<u32> = (0..5_000).collect();
+        let out = map_reduce(
+            &MrConfig::with_workers(8),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x % 3, x),
+            |_k, vs| {
+                assert!(vs.windows(2).all(|w| w[0] < w[1]), "values out of order");
+                vec![vs.len()]
+            },
+        );
+        assert_eq!(out.iter().sum::<usize>(), 5_000);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let out: Vec<u32> = map_reduce(
+            &MrConfig::default(),
+            &Vec::<u32>::new(),
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x, x),
+            |_k, _vs| vec![0u32],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skewed_keys_are_handled() {
+        // 90% of records share one key — the paper's data-item skew
+        // (up to 2.7M extractions for one item).
+        let inputs: Vec<u32> = (0..20_000).collect();
+        let out = map_reduce(
+            &MrConfig::with_workers(4),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| {
+                let key = if x % 10 == 0 { x % 100 } else { 0 };
+                emit.emit(key, x);
+            },
+            |k, vs| vec![(*k, vs.len())],
+        );
+        let total: usize = out.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 20_000);
+        let hot = out.iter().find(|&&(k, _)| k == 0).unwrap().1;
+        assert!(hot >= 18_000);
+    }
+
+    #[test]
+    fn stats_count_records() {
+        let inputs: Vec<u32> = (0..100).collect();
+        let (_, stats) = map_reduce_with_stats(
+            &MrConfig::with_workers(3),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| {
+                emit.emit(x % 10, x);
+                emit.emit(x % 5, x);
+            },
+            |_k, vs| vs,
+        );
+        assert_eq!(stats.map_input, 100);
+        assert_eq!(stats.map_output, 200);
+        assert_eq!(stats.reduce_keys, 10); // keys 0..10 (x%5 ⊂ x%10)
+        assert_eq!(stats.reduce_output, 200);
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        let inputs = vec![1u32, 2];
+        let out = map_reduce(
+            &MrConfig::with_workers(16),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x, x),
+            |k, _| vec![*k],
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn multi_output_reducer() {
+        let inputs = vec![1u32, 1, 2];
+        let mut out = map_reduce(
+            &MrConfig::sequential(),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x, x),
+            |k, vs| vs.iter().map(|v| (*k, *v)).collect(),
+        );
+        out.sort();
+        assert_eq!(out, vec![(1, 1), (1, 1), (2, 2)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # kf-mapreduce — a local MapReduce substrate
+//!
+//! The paper scales fusion to 6.4B extractions with a three-stage MapReduce
+//! pipeline (Fig. 8): Stage I partitions extractions by **data item** and
+//! computes triple probabilities; Stage II partitions by **provenance** and
+//! re-evaluates provenance accuracy; the two iterate until convergence (or a
+//! forced cut-off after `R` rounds), and Stage III partitions by **triple**
+//! to deduplicate the output.
+//!
+//! This crate provides the same programming model on a single machine:
+//!
+//! * [`map_reduce`] — a generic map → shuffle → reduce execution over
+//!   scoped worker threads with hash partitioning,
+//! * [`Reservoir`] — the reducer-side uniform sampling the paper uses to cap
+//!   per-key work at `L` records (§4.1 "we sample L triples each time"),
+//! * [`IterativeDriver`] — round iteration with convergence detection and
+//!   forced termination after `R` rounds (§4.1, Fig. 14),
+//! * [`JobStats`] — counters for observability and the scaling benches.
+//!
+//! The engine is deterministic: given the same inputs, configuration and
+//! (pure) mapper/reducer functions, output order and content are reproducible
+//! regardless of thread interleaving, because records are grouped per
+//! partition and keys are processed in sorted order.
+
+pub mod driver;
+pub mod engine;
+pub mod sampling;
+pub mod stats;
+
+pub use driver::{IterativeDriver, RoundOutcome};
+pub use engine::{map_reduce, map_reduce_with_stats, Emitter, MrConfig};
+pub use sampling::Reservoir;
+pub use stats::JobStats;

@@ -1,0 +1,89 @@
+//! Execution counters.
+
+/// Counters for one MapReduce job, in the spirit of Hadoop/MR task counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Input records handed to mappers.
+    pub map_input: u64,
+    /// Records emitted by mappers (shuffle volume).
+    pub map_output: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_keys: u64,
+    /// Records produced by reducers.
+    pub reduce_output: u64,
+}
+
+impl JobStats {
+    /// Stats for a job over `map_input` records, other counters zeroed.
+    pub fn new(map_input: u64) -> Self {
+        JobStats {
+            map_input,
+            ..Default::default()
+        }
+    }
+
+    /// Mapper fan-out ratio (`map_output / map_input`); 0 when no input.
+    pub fn fanout(&self) -> f64 {
+        if self.map_input == 0 {
+            0.0
+        } else {
+            self.map_output as f64 / self.map_input as f64
+        }
+    }
+
+    /// Mean records per reduce key; 0 when no keys.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.reduce_keys == 0 {
+            0.0
+        } else {
+            self.map_output as f64 / self.reduce_keys as f64
+        }
+    }
+
+    /// Merge counters from another job (for multi-stage pipelines).
+    pub fn merge(&mut self, other: &JobStats) {
+        self.map_input += other.map_input;
+        self.map_output += other.map_output;
+        self.reduce_keys += other.reduce_keys;
+        self.reduce_output += other.reduce_output;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = JobStats {
+            map_input: 10,
+            map_output: 30,
+            reduce_keys: 6,
+            reduce_output: 6,
+        };
+        assert!((s.fanout() - 3.0).abs() < 1e-12);
+        assert!((s.mean_group_size() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = JobStats::default();
+        assert_eq!(s.fanout(), 0.0);
+        assert_eq!(s.mean_group_size(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = JobStats::new(5);
+        a.merge(&JobStats {
+            map_input: 10,
+            map_output: 20,
+            reduce_keys: 2,
+            reduce_output: 4,
+        });
+        assert_eq!(a.map_input, 15);
+        assert_eq!(a.map_output, 20);
+        assert_eq!(a.reduce_keys, 2);
+        assert_eq!(a.reduce_output, 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the MapReduce engine: the parallel execution
+//! must be observationally equivalent to a sequential group-by, for any
+//! input and any worker/partition configuration.
+
+use kf_mapreduce::{map_reduce, Emitter, MrConfig, Reservoir};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Sequential reference implementation of sum-by-key.
+fn reference_sum(pairs: &[(u16, u32)]) -> BTreeMap<u16, u64> {
+    let mut m = BTreeMap::new();
+    for &(k, v) in pairs {
+        *m.entry(k).or_insert(0u64) += v as u64;
+    }
+    m
+}
+
+proptest! {
+    /// map_reduce(sum) == sequential group-by sum, for any worker count.
+    #[test]
+    fn equivalent_to_sequential_groupby(
+        pairs in prop::collection::vec((any::<u16>(), 0u32..1000), 0..300),
+        workers in 1usize..9,
+        partitions in 1usize..17,
+    ) {
+        let cfg = MrConfig { workers, partitions };
+        let out: Vec<(u16, u64)> = map_reduce(
+            &cfg,
+            &pairs,
+            |&(k, v), emit: &mut Emitter<u16, u32>| emit.emit(k, v),
+            |k, vs| vec![(*k, vs.iter().map(|&v| v as u64).sum())],
+        );
+        let got: BTreeMap<u16, u64> = out.into_iter().collect();
+        prop_assert_eq!(got, reference_sum(&pairs));
+    }
+
+    /// No records are lost or duplicated through the shuffle.
+    #[test]
+    fn conservation_of_records(
+        keys in prop::collection::vec(any::<u8>(), 1..500),
+        workers in 1usize..9,
+    ) {
+        let cfg = MrConfig::with_workers(workers);
+        let out: Vec<usize> = map_reduce(
+            &cfg,
+            &keys,
+            |&k, emit: &mut Emitter<u8, ()>| emit.emit(k, ()),
+            |_k, vs| vec![vs.len()],
+        );
+        prop_assert_eq!(out.iter().sum::<usize>(), keys.len());
+    }
+
+    /// Output is identical across two runs with different worker counts.
+    #[test]
+    fn worker_count_does_not_change_output(
+        pairs in prop::collection::vec((any::<u16>(), any::<u32>()), 0..200),
+    ) {
+        let run = |workers| {
+            map_reduce(
+                &MrConfig::with_workers(workers),
+                &pairs,
+                |&(k, v), emit: &mut Emitter<u16, u32>| emit.emit(k, v),
+                |k, vs| vec![(*k, vs.len(), vs.iter().map(|&v| v as u64).sum::<u64>())],
+            )
+        };
+        let mut a = run(1);
+        let mut b = run(7);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Reservoir sample size == min(capacity, n), and sampled items are a
+    /// subset of the offered items.
+    #[test]
+    fn reservoir_invariants(n in 0usize..2000, cap in 1usize..200, seed in any::<u64>()) {
+        let mut r = Reservoir::new(cap, seed);
+        r.extend(0..n);
+        prop_assert_eq!(r.len(), n.min(cap));
+        prop_assert_eq!(r.seen(), n as u64);
+        for &x in r.as_slice() {
+            prop_assert!(x < n);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # kf-synth — synthetic knowledge-extraction corpus
+//!
+//! The paper evaluates on 1.6B unique triples extracted by 12 proprietary
+//! extractors from 1B+ crawled pages — data that cannot be obtained. This
+//! crate is the substitution (see DESIGN.md): a generative simulator that
+//! reproduces the *statistical properties the evaluation depends on*, at
+//! laptop scale:
+//!
+//! * a ground-truth [`World`] of typed entities, functional and
+//!   non-functional predicates, a location-style value hierarchy,
+//!   confusable entities and sibling predicates;
+//! * a partial, trusted gold KB ([`freebase::build_gold`]) whose local
+//!   closed-world labelling exhibits the paper's artifact modes;
+//! * a simulated [`Web`] of sites and pages carrying TXT/DOM/TBL/ANO
+//!   sections with Zipf-skewed contributions and rare source-level errors
+//!   (including shared "popular" false values);
+//! * twelve [`ExtractorSpec`]s (TXT1–4, DOM1–5, TBL1–2, ANO) with bounded
+//!   recall, per-pattern quality spread, the paper's 44/44/20 error-kind
+//!   mix, systematic per-(pattern, item) breakage, shared entity-linkage
+//!   components, hierarchy generalisation, and four confidence-score
+//!   shapes;
+//! * [`Corpus::generate`] tying it together deterministically from a seed,
+//!   and [`stats`] computing the Tables 1–3 / Fig. 3 summaries.
+
+pub mod config;
+pub mod corpus;
+pub mod extractor;
+pub mod freebase;
+pub mod stats;
+pub mod web;
+pub mod world;
+
+pub use config::{GoldConfig, SynthConfig, WebConfig, WorldConfig};
+pub use corpus::Corpus;
+pub use extractor::{
+    default_extractors, ConfidenceModel, ErrorProfile, ExtractionOutcome, ExtractorSpec,
+    SiteFilter,
+};
+pub use freebase::{build_gold, sample_gold};
+pub use web::{Claim, ContentType, Page, SiteClass, Web};
+pub use world::World;

@@ -1,0 +1,385 @@
+//! Corpus statistics: the data behind Tables 1–3 and Fig. 3.
+
+use crate::corpus::Corpus;
+use kf_types::{
+    DataItem, FxHashMap, FxHashSet, Label, SkewSummary, Triple, Value,
+};
+
+/// Table 1: corpus overview counts and skew summaries.
+#[derive(Debug, Clone)]
+pub struct OverviewStats {
+    /// Total extraction records (the paper's 6.4B "extracted triples").
+    pub n_records: usize,
+    /// Unique triples (the paper's 1.6B).
+    pub n_triples: usize,
+    /// Unique subjects.
+    pub n_subjects: usize,
+    /// Unique predicates observed.
+    pub n_predicates: usize,
+    /// Unique object values.
+    pub n_objects: usize,
+    /// Unique data items.
+    pub n_data_items: usize,
+    /// Types observed (via subject entities).
+    pub n_types: usize,
+    /// Fraction of unique triples absent from the gold KB (paper: 83%).
+    pub novel_fraction: f64,
+    /// #Triples per type.
+    pub triples_per_type: SkewSummary,
+    /// #Triples per entity.
+    pub triples_per_entity: SkewSummary,
+    /// #Triples per predicate.
+    pub triples_per_predicate: SkewSummary,
+    /// #Triples per data item.
+    pub triples_per_item: SkewSummary,
+    /// #Predicates per entity.
+    pub predicates_per_entity: SkewSummary,
+}
+
+/// Table 2 row: one extractor's footprint and quality.
+#[derive(Debug, Clone)]
+pub struct ExtractorStats {
+    /// Extractor name.
+    pub name: String,
+    /// Unique triples extracted.
+    pub n_triples: usize,
+    /// Pages the extractor extracted from.
+    pub n_pages: usize,
+    /// Patterns observed (0 for pattern-free extractors).
+    pub n_patterns: usize,
+    /// LCWA accuracy over labelled unique triples.
+    pub accuracy: f64,
+    /// LCWA accuracy restricted to confidence ≥ 0.7 (None when the
+    /// extractor provides no confidence).
+    pub accuracy_high_conf: Option<f64>,
+}
+
+/// Table 3: functional vs non-functional breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionalityStats {
+    /// Fraction of observed predicates that are functional.
+    pub functional_predicates: f64,
+    /// Fraction of data items with functional predicates.
+    pub functional_items: f64,
+    /// Fraction of unique triples with functional predicates.
+    pub functional_triples: f64,
+    /// LCWA accuracy of functional-predicate triples.
+    pub functional_accuracy: f64,
+    /// LCWA accuracy of non-functional-predicate triples.
+    pub non_functional_accuracy: f64,
+}
+
+/// Fig. 3: unique-triple contribution per content type and pairwise
+/// overlaps.
+#[derive(Debug, Clone)]
+pub struct ContentTypeStats {
+    /// Unique triples per content type, indexed by [`ContentType::index`].
+    pub per_type: [usize; 4],
+    /// Pairwise overlap counts `overlap[i][j]` (i < j).
+    pub overlap: [[usize; 4]; 4],
+    /// Triples seen in ≥3 content types.
+    pub triple_way_or_more: usize,
+}
+
+/// Compute Table 1 statistics.
+pub fn overview(corpus: &Corpus) -> OverviewStats {
+    let mut triples: FxHashSet<Triple> = FxHashSet::default();
+    triples.reserve(corpus.batch.len() / 2);
+    for e in corpus.batch.iter() {
+        triples.insert(e.triple);
+    }
+
+    let mut subjects: FxHashSet<_> = FxHashSet::default();
+    let mut predicates: FxHashSet<_> = FxHashSet::default();
+    let mut objects: FxHashSet<Value> = FxHashSet::default();
+    let mut items: FxHashSet<DataItem> = FxHashSet::default();
+    let mut types: FxHashSet<_> = FxHashSet::default();
+
+    let mut by_type: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut by_entity: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut by_predicate: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut by_item: FxHashMap<DataItem, u64> = FxHashMap::default();
+    let mut preds_of_entity: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+
+    let mut novel = 0usize;
+    for t in &triples {
+        subjects.insert(t.subject);
+        predicates.insert(t.predicate);
+        objects.insert(t.object);
+        items.insert(t.data_item());
+        let ty = corpus.world.catalog.entity(t.subject).ty;
+        types.insert(ty);
+        *by_type.entry(ty.raw()).or_default() += 1;
+        *by_entity.entry(t.subject.raw()).or_default() += 1;
+        *by_predicate.entry(t.predicate.raw()).or_default() += 1;
+        *by_item.entry(t.data_item()).or_default() += 1;
+        preds_of_entity
+            .entry(t.subject.raw())
+            .or_default()
+            .insert(t.predicate.raw());
+        if corpus.gold.label(t) != Label::True {
+            novel += 1;
+        }
+    }
+
+    let counts = |m: &FxHashMap<u32, u64>| -> Vec<u64> { m.values().copied().collect() };
+    let item_counts: Vec<u64> = by_item.values().copied().collect();
+    let pred_counts: Vec<u64> = preds_of_entity.values().map(|s| s.len() as u64).collect();
+
+    OverviewStats {
+        n_records: corpus.batch.len(),
+        n_triples: triples.len(),
+        n_subjects: subjects.len(),
+        n_predicates: predicates.len(),
+        n_objects: objects.len(),
+        n_data_items: items.len(),
+        n_types: types.len(),
+        novel_fraction: novel as f64 / triples.len().max(1) as f64,
+        triples_per_type: SkewSummary::from_counts(&counts(&by_type)).expect("non-empty"),
+        triples_per_entity: SkewSummary::from_counts(&counts(&by_entity)).expect("non-empty"),
+        triples_per_predicate: SkewSummary::from_counts(&counts(&by_predicate))
+            .expect("non-empty"),
+        triples_per_item: SkewSummary::from_counts(&item_counts).expect("non-empty"),
+        predicates_per_entity: SkewSummary::from_counts(&pred_counts).expect("non-empty"),
+    }
+}
+
+/// Compute Table 2 statistics (one row per extractor).
+pub fn extractor_table(corpus: &Corpus) -> Vec<ExtractorStats> {
+    let n = corpus.extractors.len();
+    let mut triples: Vec<FxHashSet<Triple>> = vec![FxHashSet::default(); n];
+    let mut pages: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    let mut patterns: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    // Unique-triple high-confidence flag: max confidence over records.
+    let mut conf: Vec<FxHashMap<Triple, f32>> = vec![FxHashMap::default(); n];
+
+    for e in corpus.batch.iter() {
+        let i = e.provenance.extractor.index();
+        triples[i].insert(e.triple);
+        pages[i].insert(e.provenance.page.raw());
+        if !e.provenance.pattern.is_none() {
+            patterns[i].insert(e.provenance.pattern.raw());
+        }
+        if let Some(c) = e.confidence {
+            let slot = conf[i].entry(e.triple).or_insert(0.0);
+            if c > *slot {
+                *slot = c;
+            }
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let labelled: Vec<(&Triple, bool)> = triples[i]
+                .iter()
+                .filter_map(|t| corpus.gold.label(t).as_bool().map(|b| (t, b)))
+                .collect();
+            let accuracy = if labelled.is_empty() {
+                0.0
+            } else {
+                labelled.iter().filter(|(_, b)| *b).count() as f64 / labelled.len() as f64
+            };
+            let accuracy_high_conf = if conf[i].is_empty() {
+                None
+            } else {
+                let high: Vec<bool> = labelled
+                    .iter()
+                    .filter(|(t, _)| conf[i].get(t).copied().unwrap_or(0.0) >= 0.7)
+                    .map(|(_, b)| *b)
+                    .collect();
+                if high.is_empty() {
+                    None
+                } else {
+                    Some(high.iter().filter(|b| **b).count() as f64 / high.len() as f64)
+                }
+            };
+            ExtractorStats {
+                name: corpus.extractors[i].name.clone(),
+                n_triples: triples[i].len(),
+                n_pages: pages[i].len(),
+                n_patterns: patterns[i].len(),
+                accuracy,
+                accuracy_high_conf,
+            }
+        })
+        .collect()
+}
+
+/// Compute Table 3 statistics.
+pub fn functionality(corpus: &Corpus) -> FunctionalityStats {
+    let mut triples: FxHashSet<Triple> = FxHashSet::default();
+    for e in corpus.batch.iter() {
+        triples.insert(e.triple);
+    }
+    let mut items: FxHashSet<DataItem> = FxHashSet::default();
+    let mut predicates: FxHashSet<_> = FxHashSet::default();
+    let mut func_triples = 0usize;
+    let mut func_hits = (0usize, 0usize); // (correct, labelled)
+    let mut nonfunc_hits = (0usize, 0usize);
+
+    for t in &triples {
+        let functional = corpus.world.catalog.is_functional(t.predicate);
+        items.insert(t.data_item());
+        predicates.insert(t.predicate);
+        if functional {
+            func_triples += 1;
+        }
+        if let Some(ok) = corpus.gold.label(t).as_bool() {
+            let slot = if functional {
+                &mut func_hits
+            } else {
+                &mut nonfunc_hits
+            };
+            slot.1 += 1;
+            slot.0 += ok as usize;
+        }
+    }
+    let func_items = items
+        .iter()
+        .filter(|i| corpus.world.catalog.is_functional(i.predicate))
+        .count();
+    let func_preds = predicates
+        .iter()
+        .filter(|&&p| corpus.world.catalog.is_functional(p))
+        .count();
+
+    let ratio = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    FunctionalityStats {
+        functional_predicates: ratio(func_preds, predicates.len()),
+        functional_items: ratio(func_items, items.len()),
+        functional_triples: ratio(func_triples, triples.len()),
+        functional_accuracy: ratio(func_hits.0, func_hits.1),
+        non_functional_accuracy: ratio(nonfunc_hits.0, nonfunc_hits.1),
+    }
+}
+
+/// Compute Fig. 3 statistics: per-content-type unique triples + overlaps.
+pub fn content_type_stats(corpus: &Corpus) -> ContentTypeStats {
+    // Bitmask of content types per unique triple.
+    let mut masks: FxHashMap<Triple, u8> = FxHashMap::default();
+    for (e, section) in corpus.batch.iter().zip(&corpus.sections) {
+        *masks.entry(e.triple).or_default() |= 1 << section.index();
+    }
+    let mut per_type = [0usize; 4];
+    let mut overlap = [[0usize; 4]; 4];
+    let mut triple_way = 0usize;
+    for (_t, mask) in masks {
+        let present: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+        for &i in &present {
+            per_type[i] += 1;
+        }
+        for (a, &i) in present.iter().enumerate() {
+            for &j in &present[a + 1..] {
+                overlap[i][j] += 1;
+            }
+        }
+        if present.len() >= 3 {
+            triple_way += 1;
+        }
+    }
+    ContentTypeStats {
+        per_type,
+        overlap,
+        triple_way_or_more: triple_way,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use crate::web::ContentType;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&SynthConfig::small(), 23)
+    }
+
+    #[test]
+    fn overview_counts_are_consistent() {
+        let c = corpus();
+        let s = overview(&c);
+        assert_eq!(s.n_records, c.batch.len());
+        assert_eq!(s.n_triples, c.batch.unique_triples());
+        assert!(s.n_subjects <= s.n_triples);
+        assert!(s.n_data_items <= s.n_triples);
+        assert!(s.n_data_items >= s.n_subjects);
+        assert!(s.n_types <= c.world.catalog.n_types());
+    }
+
+    #[test]
+    fn skew_is_right_skewed_like_table1() {
+        let c = corpus();
+        let s = overview(&c);
+        assert!(s.triples_per_entity.is_right_skewed());
+        assert!(s.triples_per_item.is_right_skewed());
+        // Median per data item is small (paper: 2).
+        assert!(s.triples_per_item.median <= 6.0);
+    }
+
+    #[test]
+    fn most_triples_are_novel() {
+        // Paper: 83% of extracted triples are not in Freebase.
+        let c = corpus();
+        let s = overview(&c);
+        assert!(s.novel_fraction > 0.6, "novel fraction {}", s.novel_fraction);
+    }
+
+    #[test]
+    fn extractor_table_has_spread() {
+        let c = corpus();
+        let rows = extractor_table(&c);
+        assert_eq!(rows.len(), 12);
+        let accs: Vec<f64> = rows.iter().map(|r| r.accuracy).collect();
+        let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = accs.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.25, "accuracy spread too narrow: {accs:?}");
+        // Pattern-free extractors report 0 patterns; TXT1 reports many.
+        let txt1 = &rows[0];
+        assert!(txt1.n_patterns > 10);
+        let tbl2 = &rows[10];
+        assert_eq!(tbl2.n_patterns, 0);
+        assert!(tbl2.accuracy_high_conf.is_none(), "TBL2 has no confidence");
+    }
+
+    #[test]
+    fn high_confidence_usually_beats_overall_for_calibrated_extractors() {
+        let c = corpus();
+        let rows = extractor_table(&c);
+        // TXT2 (index 1) is bimodal-calibrated: accuracy@conf≥.7 should
+        // exceed overall accuracy, as in Table 2 (0.18 → 0.80).
+        let txt2 = &rows[1];
+        if let Some(hc) = txt2.accuracy_high_conf {
+            assert!(
+                hc > txt2.accuracy,
+                "TXT2 high-conf {hc} <= overall {}",
+                txt2.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn functionality_matches_table3_shape() {
+        let c = corpus();
+        let f = functionality(&c);
+        // Non-functional predicates dominate.
+        assert!(f.functional_predicates < 0.5);
+        assert!(f.functional_items < 0.5);
+        assert!(f.functional_triples < 0.6);
+        assert!((0.0..=1.0).contains(&f.functional_accuracy));
+        assert!((0.0..=1.0).contains(&f.non_functional_accuracy));
+    }
+
+    #[test]
+    fn content_types_follow_fig3() {
+        let c = corpus();
+        let s = content_type_stats(&c);
+        let dom = s.per_type[ContentType::Dom.index()];
+        let txt = s.per_type[ContentType::Txt.index()];
+        let tbl = s.per_type[ContentType::Tbl.index()];
+        assert!(dom > txt, "DOM {dom} <= TXT {txt}");
+        assert!(txt > tbl, "TXT {txt} <= TBL {tbl}");
+        // Overlaps are small relative to contributions.
+        let dom_txt = s.overlap[ContentType::Txt.index()][ContentType::Dom.index()];
+        assert!(dom_txt < dom / 2, "overlap too large: {dom_txt} vs {dom}");
+    }
+}

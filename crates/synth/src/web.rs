@@ -1,0 +1,454 @@
+//! The simulated web: sites, pages, and the fact claims pages carry.
+//!
+//! A page is a bag of *claims* — `(data item, value)` statements placed in
+//! one of the four content-type sections of §3.1.2 (TXT, DOM, TBL, ANO).
+//! Claims are what the sources *say*; extraction noise is layered on top by
+//! the extractor models. Source-level errors (a page asserting a wrong
+//! value) are injected here, including "popular" wrong values shared across
+//! pages to model copying / widespread misinformation (§5.2).
+
+use crate::config::WebConfig;
+use crate::world::World;
+use kf_types::{hash, DataItem, EntityId, FxHashMap, PageId, SiteId, Value};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four kinds of web content the paper extracts from (§3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentType {
+    /// Free text (sentences, phrases).
+    Txt,
+    /// DOM trees (infoboxes, web lists, deep-web pages).
+    Dom,
+    /// Web tables with relational content.
+    Tbl,
+    /// Webmaster annotations (schema.org, microformats).
+    Ano,
+}
+
+impl ContentType {
+    /// All content types, in the paper's order.
+    pub const ALL: [ContentType; 4] = [
+        ContentType::Txt,
+        ContentType::Dom,
+        ContentType::Tbl,
+        ContentType::Ano,
+    ];
+
+    /// Short label used in tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentType::Txt => "TXT",
+            ContentType::Dom => "DOM",
+            ContentType::Tbl => "TBL",
+            ContentType::Ano => "ANO",
+        }
+    }
+
+    /// Dense index (0..4).
+    pub fn index(self) -> usize {
+        match self {
+            ContentType::Txt => 0,
+            ContentType::Dom => 1,
+            ContentType::Tbl => 2,
+            ContentType::Ano => 3,
+        }
+    }
+}
+
+/// One fact claim on a page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Claim {
+    /// The data item the claim is about.
+    pub item: DataItem,
+    /// The claimed value (possibly wrong at the source).
+    pub value: Value,
+    /// Which section of the page carries it.
+    pub section: ContentType,
+    /// Whether the source itself is wrong about this (before extraction).
+    pub source_error: bool,
+}
+
+/// One web page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Page id (== index into [`Web::pages`]).
+    pub id: PageId,
+    /// Site the page belongs to.
+    pub site: SiteId,
+    /// Claims carried by the page.
+    pub claims: Vec<Claim>,
+}
+
+/// Site classes used to model extractor targeting (§3.1.3: TXT2–TXT4 run on
+/// normal pages / newswire / Wikipedia respectively; DOM5 on Wikipedia).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteClass {
+    /// The single high-quality encyclopedia site (site 0).
+    Wikipedia,
+    /// News sites (the next ~4% of site ids).
+    Newswire,
+    /// Everything else.
+    General,
+}
+
+/// The simulated web corpus.
+#[derive(Debug, Clone)]
+pub struct Web {
+    /// All pages.
+    pub pages: Vec<Page>,
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Per-data-item "popular false value" — the wrong value that copying
+    /// sources agree on.
+    popular_false: FxHashMap<DataItem, Value>,
+}
+
+impl Web {
+    /// Site class of `site` under the generator's conventions.
+    pub fn site_class(site: SiteId, n_sites: usize) -> SiteClass {
+        if site.index() == 0 {
+            SiteClass::Wikipedia
+        } else if site.index() <= (n_sites / 25).max(1) {
+            SiteClass::Newswire
+        } else {
+            SiteClass::General
+        }
+    }
+
+    /// The shared popular false value for `item`, if one was minted.
+    pub fn popular_false(&self, item: &DataItem) -> Option<Value> {
+        self.popular_false.get(item).copied()
+    }
+
+    /// Total number of claims across all pages.
+    pub fn n_claims(&self) -> usize {
+        self.pages.iter().map(|p| p.claims.len()).sum()
+    }
+
+    /// Generate the web from the world, deterministically from `seed`.
+    pub fn generate(world: &World, cfg: &WebConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+
+        // Per-entity item index for topical page generation.
+        let mut items_by_entity: FxHashMap<EntityId, Vec<DataItem>> = FxHashMap::default();
+        for &item in world.items() {
+            items_by_entity.entry(item.subject).or_default().push(item);
+        }
+        let entities_with_items: Vec<EntityId> = {
+            let mut es: Vec<EntityId> = items_by_entity.keys().copied().collect();
+            es.sort_unstable();
+            es
+        };
+        assert!(
+            !entities_with_items.is_empty(),
+            "world has no data items; check WorldConfig::item_density"
+        );
+
+        // Popular-entity sampling: approximate a Zipf law over the entity
+        // list by index rank.
+        let zipf_entity = |rng: &mut SmallRng| -> EntityId {
+            let n = entities_with_items.len() as f64;
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Inverse-CDF of a power law on ranks [1, n].
+            let rank = (n.powf(u) - 1.0).max(0.0) as usize;
+            entities_with_items[rank.min(entities_with_items.len() - 1)]
+        };
+
+        // Mint popular false values for a fraction of items up front.
+        let mut popular_false: FxHashMap<DataItem, Value> = FxHashMap::default();
+        for &item in world.items() {
+            if hash::hash_u64(item.encode() ^ seed) % 100 < 30 {
+                let wrong = wrong_value(world, item, &mut rng);
+                popular_false.insert(item, wrong);
+            }
+        }
+
+        // Pareto-ish claims-per-page: half the pages carry a single claim,
+        // the head carries hundreds (paper §3.1.2 statistics).
+        let pareto_claims = |rng: &mut SmallRng| -> usize {
+            let alpha = 1.15;
+            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+            // floor of a Pareto(α) variate: P(N = 1) ≈ 0.55, heavy tail.
+            let n = u.powf(-1.0 / alpha).floor() as usize;
+            n.clamp(1, cfg.max_claims_per_page)
+        };
+
+        let mut pages = Vec::with_capacity(cfg.n_pages);
+        for pid in 0..cfg.n_pages {
+            // Zipf site assignment: low site ids host many pages.
+            let site = {
+                let n = cfg.n_sites as f64;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let rank = (n.powf(u.powf(cfg.site_zipf_exponent)) - 1.0).max(0.0) as usize;
+                SiteId::from_index(rank.min(cfg.n_sites - 1))
+            };
+
+            // Sections present on this page.
+            let mut sections = Vec::with_capacity(4);
+            for (ct, &w) in ContentType::ALL.iter().zip(&cfg.section_weights) {
+                if rng.gen_bool(w) {
+                    sections.push(*ct);
+                }
+            }
+            if sections.is_empty() {
+                sections.push(ContentType::Dom);
+            }
+
+            // Topic entity plus occasional off-topic claims.
+            let topic = zipf_entity(&mut rng);
+            let n_claims = pareto_claims(&mut rng);
+            // Boost head pages (only) to roughly match mean_claims_per_page
+            // while keeping the paper's "half the pages contribute a single
+            // triple" tail intact.
+            let n_claims = if n_claims > 1
+                && rng.gen_bool((cfg.mean_claims_per_page / 14.0).clamp(0.05, 0.95))
+            {
+                n_claims.saturating_mul(2).clamp(1, cfg.max_claims_per_page)
+            } else {
+                n_claims
+            };
+
+            let mut claims = Vec::with_capacity(n_claims);
+            for _ in 0..n_claims {
+                let entity = if rng.gen_bool(0.7) {
+                    topic
+                } else {
+                    zipf_entity(&mut rng)
+                };
+                let Some(items) = items_by_entity.get(&entity) else {
+                    continue;
+                };
+                let item = *items.choose(&mut rng).expect("non-empty item list");
+                let truths = world.truths(&item);
+                debug_assert!(!truths.is_empty());
+
+                // Source-level error injection.
+                let source_error = rng.gen_bool(cfg.source_error_rate);
+                let value = if source_error {
+                    if rng.gen_bool(cfg.copied_error_rate) {
+                        popular_false
+                            .get(&item)
+                            .copied()
+                            .unwrap_or_else(|| wrong_value(world, item, &mut rng))
+                    } else {
+                        wrong_value(world, item, &mut rng)
+                    }
+                } else {
+                    *truths.choose(&mut rng).expect("non-empty truths")
+                };
+
+                let section = *sections.choose(&mut rng).expect("non-empty sections");
+                claims.push(Claim {
+                    item,
+                    value,
+                    section,
+                    source_error,
+                });
+                // Small chance the same statement appears in a second
+                // section (Fig. 3's small cross-type overlaps).
+                if sections.len() > 1 && rng.gen_bool(0.04) {
+                    let other = *sections.choose(&mut rng).expect("non-empty sections");
+                    if other != section {
+                        claims.push(Claim {
+                            item,
+                            value,
+                            section: other,
+                            source_error,
+                        });
+                    }
+                }
+            }
+
+            pages.push(Page {
+                id: PageId::from_index(pid),
+                site,
+                claims,
+            });
+        }
+
+        Web {
+            pages,
+            n_sites: cfg.n_sites,
+            popular_false,
+        }
+    }
+}
+
+/// Mint a wrong value for `item`: a confusable entity, a perturbed number,
+/// or a junk value, depending on the kind of the true value. Guaranteed not
+/// to collide with any of the item's true values (multi-truth items could
+/// otherwise be "wrong" onto another truth).
+fn wrong_value(world: &World, item: DataItem, rng: &mut SmallRng) -> Value {
+    let truths = world.truths(&item);
+    for _ in 0..4 {
+        let truth = truths[rng.gen_range(0..truths.len())];
+        let candidate = match truth {
+            Value::Entity(e) => match world.confusable(e) {
+                Some(c) if rng.gen_bool(0.6) => Value::Entity(c),
+                _ => world.noise_value(rng.gen::<u64>()),
+            },
+            Value::Num(n) => Value::Num(kf_types::Numeric(
+                n.0 + rng.gen_range(1..=5) * 1000 * if rng.gen_bool(0.5) { 1 } else { -1 },
+            )),
+            Value::Str(_) => world.noise_value(rng.gen::<u64>()),
+        };
+        if !truths.contains(&candidate) {
+            return candidate;
+        }
+    }
+    // The junk pool is disjoint from all world facts by construction.
+    world.noise_value(rng.gen::<u64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SynthConfig, WebConfig};
+
+    fn web() -> (World, Web) {
+        let cfg = SynthConfig::small();
+        let world = World::generate(&cfg.world, 3);
+        let web = Web::generate(&world, &cfg.web, 3);
+        (world, web)
+    }
+
+    #[test]
+    fn page_count_matches_config() {
+        let cfg = SynthConfig::small();
+        let (_, web) = web();
+        assert_eq!(web.pages.len(), cfg.web.n_pages);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::tiny();
+        let world = World::generate(&cfg.world, 9);
+        let a = Web::generate(&world, &cfg.web, 9);
+        let b = Web::generate(&world, &cfg.web, 9);
+        assert_eq!(a.n_claims(), b.n_claims());
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.claims, pb.claims);
+            assert_eq!(pa.site, pb.site);
+        }
+    }
+
+    #[test]
+    fn claims_reference_world_items() {
+        let (world, web) = web();
+        for page in web.pages.iter().take(200) {
+            for claim in &page.claims {
+                assert!(
+                    !world.truths(&claim.item).is_empty(),
+                    "claim about unknown item"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correct_claims_hold_true_values() {
+        let (world, web) = web();
+        for page in web.pages.iter().take(500) {
+            for claim in &page.claims {
+                let is_true = world.truths(&claim.item).contains(&claim.value);
+                if claim.source_error {
+                    assert!(!is_true, "source error flagged on a true value");
+                } else {
+                    assert!(is_true, "unflagged claim must be true");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_error_rate_is_low() {
+        let (_, web) = web();
+        let total: usize = web.n_claims();
+        let errors: usize = web
+            .pages
+            .iter()
+            .flat_map(|p| &p.claims)
+            .filter(|c| c.source_error)
+            .count();
+        let rate = errors as f64 / total as f64;
+        assert!(rate > 0.005 && rate < 0.10, "source error rate {rate}");
+    }
+
+    #[test]
+    fn dom_dominates_sections() {
+        let (_, web) = web();
+        let mut counts = [0usize; 4];
+        for page in &web.pages {
+            for claim in &page.claims {
+                counts[claim.section.index()] += 1;
+            }
+        }
+        let dom = counts[ContentType::Dom.index()];
+        assert!(dom > counts[ContentType::Txt.index()]);
+        assert!(dom > counts[ContentType::Tbl.index()]);
+        assert!(dom > counts[ContentType::Ano.index()]);
+        // TBL is the smallest contributor, as in Fig. 3.
+        assert!(counts[ContentType::Tbl.index()] < counts[ContentType::Txt.index()]);
+    }
+
+    #[test]
+    fn site_distribution_is_skewed() {
+        let (_, web) = web();
+        let mut per_site: FxHashMap<SiteId, usize> = FxHashMap::default();
+        for page in &web.pages {
+            *per_site.entry(page.site).or_default() += 1;
+        }
+        let max = per_site.values().copied().max().unwrap();
+        let mean = web.pages.len() as f64 / per_site.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "no head sites: max={max} mean={mean}");
+    }
+
+    #[test]
+    fn claims_per_page_is_skewed_with_unit_floor() {
+        let (_, web) = web();
+        let singles = web.pages.iter().filter(|p| p.claims.len() <= 1).count();
+        let frac = singles as f64 / web.pages.len() as f64;
+        // Paper: half of the pages contribute a single triple.
+        assert!(frac > 0.25 && frac < 0.8, "single-claim fraction {frac}");
+        let max = web.pages.iter().map(|p| p.claims.len()).max().unwrap();
+        assert!(max > 10, "no head pages, max={max}");
+    }
+
+    #[test]
+    fn popular_false_values_are_wrong() {
+        let (world, web) = web();
+        let mut checked = 0;
+        for (item, value) in web.popular_false.iter().take(500) {
+            assert!(!world.truths(item).contains(value));
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn site_classes_partition_sites() {
+        let n = 100;
+        assert_eq!(Web::site_class(SiteId(0), n), SiteClass::Wikipedia);
+        assert_eq!(Web::site_class(SiteId(2), n), SiteClass::Newswire);
+        assert_eq!(Web::site_class(SiteId(50), n), SiteClass::General);
+    }
+
+    #[test]
+    fn zero_weight_sections_never_appear() {
+        let cfg = SynthConfig::tiny();
+        let world = World::generate(&cfg.world, 5);
+        let web_cfg = WebConfig {
+            section_weights: [0.0, 1.0, 0.0, 0.0],
+            ..cfg.web
+        };
+        let web = Web::generate(&world, &web_cfg, 5);
+        for page in &web.pages {
+            for claim in &page.claims {
+                assert_eq!(claim.section, ContentType::Dom);
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The ground-truth world model.
+//!
+//! The world is what the (simulated) web imperfectly describes: a catalog of
+//! typed entities and predicates, the set of *true* facts for every data
+//! item, a location-style value hierarchy (§5.4), a confusability map
+//! between entities (the substrate for entity-linkage errors, §3.1.3), and
+//! sibling predicates (the substrate for predicate-linkage errors, e.g.
+//! book author vs. book editor).
+
+use crate::config::WorldConfig;
+use kf_types::{
+    Catalog, DataItem, EntityId, FxHashMap, Numeric, PredicateId, PredicateInfo, Triple, TypeId,
+    Value, ValueHierarchy, ValueKind,
+};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Poisson};
+
+/// The ground truth: entities, predicates, true facts, hierarchy,
+/// confusables. Everything downstream (web pages, extractors, gold KB,
+/// error analysis) derives from this.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Schema catalog (types, predicates, entities, strings).
+    pub catalog: Catalog,
+    /// True values for every data item that exists in the world.
+    facts: FxHashMap<DataItem, Vec<Value>>,
+    /// Data items in insertion order (deterministic iteration).
+    items: Vec<DataItem>,
+    /// Child → parent edges of the value hierarchy.
+    hierarchy: FxHashMap<Value, Value>,
+    /// Entity → confusable entity (same-name / similar-name pairs).
+    confusables: FxHashMap<EntityId, EntityId>,
+    /// Predicate → sibling predicate of the same type (author ↔ editor).
+    siblings: FxHashMap<PredicateId, PredicateId>,
+    /// Entities that belong to the hierarchy (location-like), root-first.
+    hierarchy_entities: Vec<EntityId>,
+    /// Per-type entity lists.
+    entities_by_type: Vec<Vec<EntityId>>,
+    /// Pool of junk values used to materialise triple-identification errors
+    /// (e.g. "taking part of the album name as the artist").
+    noise_values: Vec<Value>,
+}
+
+impl World {
+    /// Generate a world from `cfg`, deterministically from `seed`.
+    pub fn generate(cfg: &WorldConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut catalog = Catalog::new();
+
+        // ---- Types -------------------------------------------------------
+        let type_names = [
+            "location", "organization", "business", "people/person", "film/film", "music/album",
+            "book/book", "sports/team", "biology/species", "education/school", "tv/program",
+            "geography/river", "award/award", "computer/software", "food/dish", "event/event",
+        ];
+        let n_types = cfg.n_types.max(2);
+        let mut type_ids = Vec::with_capacity(n_types);
+        for i in 0..n_types {
+            let name = type_names
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("domain/type_{i}"));
+            type_ids.push(catalog.add_type(name));
+        }
+        // Type 0 ("location") hosts the value hierarchy.
+        let location_ty = type_ids[0];
+
+        // ---- Hierarchy entities -------------------------------------------
+        // A tree of locations: level 0 = continents ... level depth-1 = cities.
+        let mut hierarchy = FxHashMap::default();
+        let mut hierarchy_entities = Vec::new();
+        let mut levels: Vec<Vec<EntityId>> = Vec::new();
+        {
+            let mut prev: Vec<EntityId> = Vec::new();
+            for depth in 0..cfg.hierarchy_depth.max(1) {
+                let width = if depth == 0 {
+                    4
+                } else {
+                    (prev.len() * cfg.hierarchy_branching).min(2_000)
+                };
+                let mut level = Vec::with_capacity(width);
+                for i in 0..width.max(1) {
+                    let e = catalog.add_entity(&format!("loc_d{depth}_{i}"), location_ty);
+                    hierarchy_entities.push(e);
+                    if let Some(parent) = prev.get(i % prev.len().max(1)) {
+                        if !prev.is_empty() {
+                            hierarchy.insert(Value::Entity(e), Value::Entity(*parent));
+                        }
+                    }
+                    level.push(e);
+                }
+                prev = level.clone();
+                levels.push(level);
+            }
+        }
+
+        // ---- Ordinary entities --------------------------------------------
+        // Zipf-skewed type sizes: a few huge types (location, organization,
+        // business per the paper), a long tail of small ones.
+        let n_ordinary = cfg.n_entities.saturating_sub(hierarchy_entities.len()).max(n_types);
+        let mut entities_by_type: Vec<Vec<EntityId>> = vec![Vec::new(); n_types];
+        entities_by_type[0] = hierarchy_entities.clone();
+        {
+            // Weight type t by 1/(t+1)^1.1, skipping the location type.
+            let weights: Vec<f64> = (0..n_types).map(|t| 1.0 / (t as f64 + 1.0).powf(1.1)).collect();
+            let total: f64 = weights[1..].iter().sum();
+            for t in 1..n_types {
+                let share = ((weights[t] / total) * n_ordinary as f64).ceil() as usize;
+                for i in 0..share.max(2) {
+                    let e = catalog.add_entity(&format!("ent_t{t}_{i}"), type_ids[t]);
+                    entities_by_type[t].push(e);
+                }
+            }
+        }
+
+        // ---- Confusables ---------------------------------------------------
+        // Pair up entities within a type: linkage errors map an entity to
+        // its confusable partner ("Les Misérables the show" vs "the novel").
+        let mut confusables = FxHashMap::default();
+        for ents in &entities_by_type {
+            for pair in ents.chunks(2) {
+                if let [a, b] = pair {
+                    confusables.insert(*a, *b);
+                    confusables.insert(*b, *a);
+                }
+            }
+        }
+
+        // ---- Predicates ----------------------------------------------------
+        let n_predicates = cfg.n_predicates.max(4);
+        let mut pred_ids = Vec::with_capacity(n_predicates);
+        for i in 0..n_predicates {
+            let domain = type_ids[i % n_types];
+            let functional = rng.gen_bool(cfg.functional_fraction);
+            // Object kind mix loosely follows the paper's 23M entities /
+            // 80M strings / 1M numbers unique-object split, but entity
+            // predicates matter most for linkage errors, so keep them common.
+            let value_kind = match i % 5 {
+                0 | 1 => ValueKind::Entity,
+                2 | 3 => ValueKind::Str,
+                _ => ValueKind::Num,
+            };
+            let is_hier = value_kind == ValueKind::Entity
+                && rng.gen_bool(cfg.hierarchical_predicate_fraction);
+            let name = if is_hier {
+                format!("pred_{i}_place")
+            } else {
+                format!("pred_{i}")
+            };
+            pred_ids.push(catalog.add_predicate(PredicateInfo {
+                name,
+                domain,
+                functional,
+                value_kind,
+            }));
+        }
+
+        // Sibling predicates: consecutive predicates of the same domain type.
+        let mut siblings = FxHashMap::default();
+        for window in pred_ids.windows(2) {
+            if let [a, b] = window {
+                if catalog.predicate(*a).domain == catalog.predicate(*b).domain {
+                    siblings.insert(*a, *b);
+                    siblings.insert(*b, *a);
+                }
+            }
+        }
+        // Fall back to pairing across domains for leftovers so every
+        // predicate has a sibling (needed by the error model).
+        for pair in pred_ids.chunks(2) {
+            if let [a, b] = pair {
+                siblings.entry(*a).or_insert(*b);
+                siblings.entry(*b).or_insert(*a);
+            }
+        }
+
+        // ---- Facts ---------------------------------------------------------
+        let mut facts: FxHashMap<DataItem, Vec<Value>> = FxHashMap::default();
+        let mut items = Vec::new();
+        let leaf_level = levels.last().cloned().unwrap_or_default();
+        let poisson_extra = Poisson::new((cfg.mean_truths_nonfunctional - 1.0).max(0.05))
+            .expect("valid poisson mean");
+        let mut str_counter = 0u64;
+
+        // Group predicates by domain type for fast lookup.
+        let mut preds_by_type: Vec<Vec<PredicateId>> = vec![Vec::new(); n_types];
+        for &p in &pred_ids {
+            preds_by_type[catalog.predicate(p).domain.index()].push(p);
+        }
+
+        for t in 0..n_types {
+            for &e in &entities_by_type[t] {
+                for &p in &preds_by_type[t] {
+                    if !rng.gen_bool(cfg.item_density) {
+                        continue;
+                    }
+                    let info = catalog.predicate(p);
+                    let functional = info.functional;
+                    let value_kind = info.value_kind;
+                    let is_place = info.name.ends_with("_place");
+                    let n_truths = if functional {
+                        1
+                    } else {
+                        (1 + poisson_extra.sample(&mut rng) as usize).min(cfg.max_truths)
+                    };
+                    let mut values = Vec::with_capacity(n_truths);
+                    for _ in 0..n_truths {
+                        let v = match value_kind {
+                            ValueKind::Entity if is_place && !leaf_level.is_empty() => {
+                                Value::Entity(*leaf_level.choose(&mut rng).unwrap())
+                            }
+                            ValueKind::Entity => {
+                                // Object entity from a (deterministic) range type.
+                                let range_t = (t + 1 + p.index()) % n_types;
+                                let pool = &entities_by_type[range_t];
+                                if pool.is_empty() {
+                                    Value::Num(Numeric::from_i64(rng.gen_range(0..10_000)))
+                                } else {
+                                    Value::Entity(*pool.choose(&mut rng).unwrap())
+                                }
+                            }
+                            ValueKind::Str => {
+                                str_counter += 1;
+                                Value::Str(
+                                    catalog.strings.intern(&format!("strval_{str_counter}")),
+                                )
+                            }
+                            ValueKind::Num => {
+                                Value::Num(Numeric::from_i64(rng.gen_range(1800..2_100)))
+                            }
+                        };
+                        if !values.contains(&v) {
+                            values.push(v);
+                        }
+                    }
+                    let item = DataItem::new(e, p);
+                    items.push(item);
+                    facts.insert(item, values);
+                }
+            }
+        }
+
+        // ---- Noise pool ----------------------------------------------------
+        // Junk strings and numbers for triple-identification errors.
+        let mut noise_values = Vec::with_capacity(2_048);
+        for i in 0..1_536 {
+            noise_values.push(Value::Str(
+                catalog.strings.intern(&format!("noise_{i}")),
+            ));
+        }
+        for i in 0..512 {
+            noise_values.push(Value::Num(Numeric::from_i64(100_000 + i)));
+        }
+
+        World {
+            catalog,
+            facts,
+            items,
+            hierarchy,
+            confusables,
+            siblings,
+            hierarchy_entities,
+            entities_by_type,
+            noise_values,
+        }
+    }
+
+    /// True values for a data item (empty slice for unknown items).
+    pub fn truths(&self, item: &DataItem) -> &[Value] {
+        self.facts.get(item).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Exact-match truth test.
+    pub fn is_true(&self, triple: &Triple) -> bool {
+        self.truths(&triple.data_item()).contains(&triple.object)
+    }
+
+    /// Truth test *up to hierarchy*: exact truth, or a generalisation /
+    /// specialisation of a true value (the cases the paper's error analysis
+    /// classifies as "correct but LCWA-false", Fig. 17).
+    pub fn is_true_up_to_hierarchy(&self, triple: &Triple) -> bool {
+        if self.is_true(triple) {
+            return true;
+        }
+        self.truths(&triple.data_item())
+            .iter()
+            .any(|&t| self.related(t, triple.object))
+    }
+
+    /// All data items, in deterministic order.
+    pub fn items(&self) -> &[DataItem] {
+        &self.items
+    }
+
+    /// Number of data items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The confusable partner of an entity, if any.
+    pub fn confusable(&self, e: EntityId) -> Option<EntityId> {
+        self.confusables.get(&e).copied()
+    }
+
+    /// The sibling predicate, if any.
+    pub fn sibling(&self, p: PredicateId) -> Option<PredicateId> {
+        self.siblings.get(&p).copied()
+    }
+
+    /// Entities participating in the value hierarchy.
+    pub fn hierarchy_entities(&self) -> &[EntityId] {
+        &self.hierarchy_entities
+    }
+
+    /// Entities of a given type.
+    pub fn entities_of_type(&self, t: TypeId) -> &[EntityId] {
+        &self.entities_by_type[t.index()]
+    }
+
+    /// A deterministic junk value indexed by `salt` (triple-identification
+    /// error substrate).
+    pub fn noise_value(&self, salt: u64) -> Value {
+        self.noise_values[(salt as usize) % self.noise_values.len()]
+    }
+
+    /// Whether a value belongs to the junk pool (used by the automated
+    /// error taxonomy).
+    pub fn is_noise(&self, v: Value) -> bool {
+        self.noise_values.contains(&v)
+    }
+
+    /// Expected number of truths per item of each predicate, learned from
+    /// the world — used by the functionality-learning extension (§5.3).
+    pub fn predicate_truth_means(&self) -> FxHashMap<PredicateId, f64> {
+        let mut sums: FxHashMap<PredicateId, (f64, f64)> = FxHashMap::default();
+        for (item, values) in &self.facts {
+            let e = sums.entry(item.predicate).or_insert((0.0, 0.0));
+            e.0 += values.len() as f64;
+            e.1 += 1.0;
+        }
+        sums.into_iter().map(|(p, (s, n))| (p, s / n)).collect()
+    }
+}
+
+impl ValueHierarchy for World {
+    fn parent(&self, v: Value) -> Option<Value> {
+        self.hierarchy.get(&v).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::default(), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&WorldConfig::default(), 42);
+        let b = World::generate(&WorldConfig::default(), 42);
+        assert_eq!(a.n_items(), b.n_items());
+        for item in a.items().iter().take(100) {
+            assert_eq!(a.truths(item), b.truths(item));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(&WorldConfig::default(), 1);
+        let b = World::generate(&WorldConfig::default(), 2);
+        // Same structure sizes but different fact values somewhere.
+        let differs = a
+            .items()
+            .iter()
+            .take(500)
+            .any(|i| a.truths(i) != b.truths(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn functional_items_have_one_truth() {
+        let w = world();
+        for item in w.items() {
+            if w.catalog.is_functional(item.predicate) {
+                assert_eq!(w.truths(item).len(), 1);
+            } else {
+                assert!(!w.truths(item).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn functional_fraction_near_config() {
+        let w = world();
+        let frac = w.catalog.functional_predicate_fraction();
+        assert!((0.1..0.5).contains(&frac), "fraction {frac} out of range");
+    }
+
+    #[test]
+    fn hierarchy_has_roots_and_leaves() {
+        let w = world();
+        assert!(!w.hierarchy_entities().is_empty());
+        let roots = w
+            .hierarchy_entities()
+            .iter()
+            .filter(|&&e| w.parent(Value::Entity(e)).is_none())
+            .count();
+        let leaves = w
+            .hierarchy_entities()
+            .iter()
+            .filter(|&&e| w.parent(Value::Entity(e)).is_some())
+            .count();
+        assert!(roots >= 1);
+        assert!(leaves > roots);
+    }
+
+    #[test]
+    fn hierarchy_chains_terminate_at_roots() {
+        let w = world();
+        for &e in w.hierarchy_entities() {
+            let d = w.depth(Value::Entity(e));
+            assert!(d < 64, "cycle suspected at {e:?}");
+        }
+    }
+
+    #[test]
+    fn confusables_are_symmetric_and_distinct() {
+        let w = world();
+        let mut checked = 0;
+        for (item, _) in w.facts.iter().take(1000) {
+            if let Some(c) = w.confusable(item.subject) {
+                assert_ne!(c, item.subject);
+                assert_eq!(w.confusable(c), Some(item.subject));
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no confusable pairs exercised");
+    }
+
+    #[test]
+    fn every_predicate_has_a_sibling() {
+        let w = world();
+        let mut with_sibling = 0;
+        for p in w.catalog.predicate_ids() {
+            if let Some(s) = w.sibling(p) {
+                assert_ne!(s, p);
+                with_sibling += 1;
+            }
+        }
+        // chunks(2) pairing can leave at most one predicate unpaired.
+        assert!(with_sibling + 1 >= w.catalog.n_predicates());
+    }
+
+    #[test]
+    fn truth_test_respects_hierarchy() {
+        let w = world();
+        // Find an item whose truth is a hierarchy leaf with a parent.
+        let found = w.items().iter().find_map(|item| {
+            w.truths(item).iter().find_map(|&v| {
+                w.parent(v).map(|parent| (*item, v, parent))
+            })
+        });
+        if let Some((item, leaf, parent)) = found {
+            let general = Triple::new(item.subject, item.predicate, parent);
+            assert!(!w.is_true(&general));
+            assert!(w.is_true_up_to_hierarchy(&general));
+            let exact = Triple::new(item.subject, item.predicate, leaf);
+            assert!(w.is_true(&exact));
+        }
+    }
+
+    #[test]
+    fn predicate_truth_means_cover_all_seen_predicates() {
+        let w = world();
+        let means = w.predicate_truth_means();
+        for (&p, &m) in &means {
+            assert!(m >= 1.0, "predicate {p} mean {m} below 1");
+            if w.catalog.is_functional(p) {
+                assert!((m - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nonfunctional_items_sometimes_have_multiple_truths() {
+        let w = world();
+        let multi = w
+            .items()
+            .iter()
+            .filter(|i| w.truths(i).len() > 1)
+            .count();
+        assert!(multi > 0, "no multi-truth items generated");
+        // But most items still have few truths (paper Fig. 20).
+        let many = w
+            .items()
+            .iter()
+            .filter(|i| w.truths(i).len() > 4)
+            .count();
+        assert!((many as f64) < 0.1 * w.n_items() as f64);
+    }
+}

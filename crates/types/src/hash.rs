@@ -1,0 +1,158 @@
+//! Fast non-cryptographic hashing for the integer-id keys used throughout
+//! the workspace.
+//!
+//! The default `SipHash 1-3` hasher is robust against HashDoS but slow for
+//! the short integer keys that dominate fusion workloads. This is the
+//! classic multiplicative "Fx" construction (as used by rustc); we implement
+//! it locally (~30 lines) rather than pulling in an extra dependency.
+//! Inputs here are internally generated ids, never attacker-controlled, so
+//! the weaker collision resistance is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplicative hasher.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// The golden-ratio-derived odd constant used by the Fx family.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` with the Fx construction; handy for cheap
+/// deterministic partitioning decisions.
+#[inline]
+pub fn hash_u64(word: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(word);
+    h.finish()
+}
+
+/// Hash any `Hash` value with the Fx construction.
+#[inline]
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        // Not a collision-resistance proof, just a sanity net against a
+        // degenerate implementation that maps everything to one bucket.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_u64(i));
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // 9 bytes exercises both the 8-byte chunk and the 1-byte tail.
+        let a = {
+            let mut h = FxHasher::default();
+            h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::default();
+            h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn empty_write_is_identity() {
+        let mut h = FxHasher::default();
+        h.write(&[]);
+        assert_eq!(h.finish(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! String interning.
+//!
+//! Raw-string object values (80M of the paper's 102M unique objects) are
+//! interned once so the rest of the system moves `Copy` [`StrId`]s around.
+
+use crate::hash::FxHashMap;
+use crate::ids::StrId;
+use serde::{Deserialize, Serialize};
+
+/// An append-only string interner. Not thread-safe by itself; corpus
+/// construction happens single-threaded (or behind a lock) while fusion, the
+/// hot phase, only reads.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, StrId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its id (existing id when already interned).
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = StrId::from_index(self.strings.len());
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Resolve an id back to its string. Panics on a foreign id, which is
+    /// always a programming error (ids only come from this interner).
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Resolve, returning `None` for out-of-range ids.
+    pub fn get(&self, id: StrId) -> Option<&str> {
+        self.strings.get(id.index()).map(String::as_str)
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<StrId> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Rebuild the reverse index (needed after deserialisation, since the
+    /// index is not serialised).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), StrId::from_index(i)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Tom Cruise");
+        let b = i.intern("Tom Cruise");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("Syracuse NY");
+        let b = i.intern("New York City");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Syracuse NY");
+        assert_eq!(i.resolve(b), "New York City");
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.lookup("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.lookup("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn get_handles_foreign_ids() {
+        let i = Interner::new();
+        assert_eq!(i.get(StrId(99)), None);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let mut j = i.clone();
+        j.index.clear(); // simulate deserialisation
+        assert_eq!(j.lookup("a"), None);
+        j.rebuild_index();
+        assert_eq!(j.lookup("a"), i.lookup("a"));
+        assert_eq!(j.lookup("b"), i.lookup("b"));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = Interner::new();
+        for n in 0..100 {
+            let id = i.intern(&format!("s{n}"));
+            assert_eq!(id.index(), n);
+        }
+    }
+}

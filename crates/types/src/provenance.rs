@@ -1,0 +1,240 @@
+//! Provenance records and granularity-parameterised provenance keys.
+//!
+//! The paper reduces the three-dimensional KF input to two dimensions by
+//! treating an *(Extractor, URL)* pair as a data source, which it calls a
+//! **provenance** (§4.1). §4.3.1 then shows that the *granularity* of this
+//! key matters a lot for calibration: evaluating accuracy per
+//! *(Extractor, Site, Predicate, Pattern)* performs best. [`Granularity`]
+//! captures the choices studied in Figs. 9 and 10, and
+//! [`ProvenanceKey::at`] projects a full [`Provenance`] record (plus the
+//! triple's predicate) onto the chosen granularity.
+
+use crate::ids::{ExtractorId, PageId, PatternId, PredicateId, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Full provenance of one extraction: which extractor produced it, from
+/// which page (and the page's site), using which learned pattern.
+///
+/// This is the "rich provenance information" of §3.1.1 — much richer than
+/// the bare source identity used in data fusion.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Provenance {
+    /// The extractor that produced the triple.
+    pub extractor: ExtractorId,
+    /// The web page (URL) the triple was extracted from.
+    pub page: PageId,
+    /// The page's site (URL prefix up to the first `/`).
+    pub site: SiteId,
+    /// The extraction pattern used, or [`PatternId::NONE`] for pattern-free
+    /// extractors (Table 2 "No pat.").
+    pub pattern: PatternId,
+}
+
+impl Provenance {
+    /// Construct a provenance record.
+    pub fn new(
+        extractor: ExtractorId,
+        page: PageId,
+        site: SiteId,
+        pattern: PatternId,
+    ) -> Self {
+        Provenance {
+            extractor,
+            page,
+            site,
+            pattern,
+        }
+    }
+}
+
+/// The granularity at which provenance accuracy is evaluated (§4.3.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Granularity {
+    /// *(Extractor, URL)* — the basic adaptation of §4.1.
+    #[default]
+    ExtractorPage,
+    /// *(Extractor, Site)* — coarser source dimension.
+    ExtractorSite,
+    /// *(Extractor, Site, Predicate)*.
+    ExtractorSitePredicate,
+    /// *(Extractor, Site, Predicate, Pattern)* — the best setting in Fig. 10.
+    ExtractorSitePredicatePattern,
+    /// Extractor pattern only (Fig. 9 "Only ext"): ignores the source.
+    ExtractorPatternOnly,
+    /// URL only (Fig. 9 "Only src"): ignores the extractor.
+    PageOnly,
+}
+
+impl Granularity {
+    /// All granularities, in the order plotted by the paper.
+    pub const ALL: [Granularity; 6] = [
+        Granularity::ExtractorPage,
+        Granularity::ExtractorSite,
+        Granularity::ExtractorSitePredicate,
+        Granularity::ExtractorSitePredicatePattern,
+        Granularity::ExtractorPatternOnly,
+        Granularity::PageOnly,
+    ];
+
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::ExtractorPage => "(Extractor, URL)",
+            Granularity::ExtractorSite => "(Extractor, Site)",
+            Granularity::ExtractorSitePredicate => "(Extractor, Site, Predicate)",
+            Granularity::ExtractorSitePredicatePattern => {
+                "(Extractor, Site, Predicate, Pattern)"
+            }
+            Granularity::ExtractorPatternOnly => "Only extractor (pattern)",
+            Granularity::PageOnly => "Only source (URL)",
+        }
+    }
+}
+
+/// A provenance projected onto a [`Granularity`]: the unit whose accuracy
+/// the fusion algorithms estimate. Fields not included in the granularity
+/// are `None`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProvenanceKey {
+    /// Extractor dimension, when included.
+    pub extractor: Option<ExtractorId>,
+    /// Page dimension, when included.
+    pub page: Option<PageId>,
+    /// Site dimension, when included.
+    pub site: Option<SiteId>,
+    /// Predicate dimension, when included.
+    pub predicate: Option<PredicateId>,
+    /// Pattern dimension, when included.
+    pub pattern: Option<PatternId>,
+}
+
+impl ProvenanceKey {
+    /// Project `prov` (for a triple with predicate `predicate`) onto
+    /// granularity `g`.
+    pub fn at(g: Granularity, prov: &Provenance, predicate: PredicateId) -> Self {
+        let mut key = ProvenanceKey {
+            extractor: None,
+            page: None,
+            site: None,
+            predicate: None,
+            pattern: None,
+        };
+        match g {
+            Granularity::ExtractorPage => {
+                key.extractor = Some(prov.extractor);
+                key.page = Some(prov.page);
+            }
+            Granularity::ExtractorSite => {
+                key.extractor = Some(prov.extractor);
+                key.site = Some(prov.site);
+            }
+            Granularity::ExtractorSitePredicate => {
+                key.extractor = Some(prov.extractor);
+                key.site = Some(prov.site);
+                key.predicate = Some(predicate);
+            }
+            Granularity::ExtractorSitePredicatePattern => {
+                key.extractor = Some(prov.extractor);
+                key.site = Some(prov.site);
+                key.predicate = Some(predicate);
+                key.pattern = Some(prov.pattern);
+            }
+            Granularity::ExtractorPatternOnly => {
+                key.extractor = Some(prov.extractor);
+                key.pattern = Some(prov.pattern);
+            }
+            Granularity::PageOnly => {
+                key.page = Some(prov.page);
+            }
+        }
+        key
+    }
+
+    /// Stable 64-bit mixing of the key for partitioning decisions.
+    pub fn encode(&self) -> u64 {
+        crate::hash::hash_one(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov() -> Provenance {
+        Provenance::new(ExtractorId(3), PageId(100), SiteId(7), PatternId(42))
+    }
+
+    #[test]
+    fn extractor_page_key_ignores_site_and_pattern() {
+        let k = ProvenanceKey::at(Granularity::ExtractorPage, &prov(), PredicateId(5));
+        assert_eq!(k.extractor, Some(ExtractorId(3)));
+        assert_eq!(k.page, Some(PageId(100)));
+        assert_eq!(k.site, None);
+        assert_eq!(k.predicate, None);
+        assert_eq!(k.pattern, None);
+    }
+
+    #[test]
+    fn finest_granularity_keeps_four_dimensions() {
+        let k = ProvenanceKey::at(
+            Granularity::ExtractorSitePredicatePattern,
+            &prov(),
+            PredicateId(5),
+        );
+        assert_eq!(k.extractor, Some(ExtractorId(3)));
+        assert_eq!(k.page, None);
+        assert_eq!(k.site, Some(SiteId(7)));
+        assert_eq!(k.predicate, Some(PredicateId(5)));
+        assert_eq!(k.pattern, Some(PatternId(42)));
+    }
+
+    #[test]
+    fn page_only_drops_the_extractor() {
+        let k = ProvenanceKey::at(Granularity::PageOnly, &prov(), PredicateId(5));
+        assert_eq!(k.extractor, None);
+        assert_eq!(k.page, Some(PageId(100)));
+    }
+
+    #[test]
+    fn extractor_pattern_only_drops_the_source() {
+        let k =
+            ProvenanceKey::at(Granularity::ExtractorPatternOnly, &prov(), PredicateId(5));
+        assert_eq!(k.extractor, Some(ExtractorId(3)));
+        assert_eq!(k.pattern, Some(PatternId(42)));
+        assert_eq!(k.page, None);
+        assert_eq!(k.site, None);
+    }
+
+    #[test]
+    fn same_site_pages_collapse_at_site_granularity() {
+        let p1 = Provenance::new(ExtractorId(1), PageId(10), SiteId(7), PatternId::NONE);
+        let p2 = Provenance::new(ExtractorId(1), PageId(11), SiteId(7), PatternId::NONE);
+        let k1 = ProvenanceKey::at(Granularity::ExtractorSite, &p1, PredicateId(0));
+        let k2 = ProvenanceKey::at(Granularity::ExtractorSite, &p2, PredicateId(0));
+        assert_eq!(k1, k2);
+        let k1p = ProvenanceKey::at(Granularity::ExtractorPage, &p1, PredicateId(0));
+        let k2p = ProvenanceKey::at(Granularity::ExtractorPage, &p2, PredicateId(0));
+        assert_ne!(k1p, k2p);
+    }
+
+    #[test]
+    fn all_granularities_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            Granularity::ALL.iter().map(|g| g.label()).collect();
+        assert_eq!(labels.len(), Granularity::ALL.len());
+    }
+
+    #[test]
+    fn encode_differs_across_granularities() {
+        let p = prov();
+        let a = ProvenanceKey::at(Granularity::ExtractorPage, &p, PredicateId(5)).encode();
+        let b = ProvenanceKey::at(Granularity::ExtractorSite, &p, PredicateId(5)).encode();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the core data model.
+
+use kf_types::*;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..10_000).prop_map(|e| Value::Entity(EntityId(e))),
+        (0u32..10_000).prop_map(|s| Value::Str(StrId(s))),
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::Num(Numeric(n))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    ((0u32..5_000), (0u32..500), arb_value())
+        .prop_map(|(s, p, o)| Triple::new(EntityId(s), PredicateId(p), o))
+}
+
+fn arb_provenance() -> impl Strategy<Value = Provenance> {
+    ((0u16..12), (0u32..100_000), (0u32..1_000), (0u32..5_000)).prop_map(
+        |(e, pg, st, pat)| Provenance::new(ExtractorId(e), PageId(pg), SiteId(st), PatternId(pat)),
+    )
+}
+
+proptest! {
+    /// Value::encode never collides across variants for realistic id ranges.
+    #[test]
+    fn value_encode_injective(a in arb_value(), b in arb_value()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        } else {
+            prop_assert_eq!(a.encode(), b.encode());
+        }
+    }
+
+    /// DataItem::encode is injective over the u32 id space.
+    #[test]
+    fn data_item_encode_injective(s1 in any::<u32>(), p1 in any::<u32>(),
+                                  s2 in any::<u32>(), p2 in any::<u32>()) {
+        let a = DataItem::new(EntityId(s1), PredicateId(p1));
+        let b = DataItem::new(EntityId(s2), PredicateId(p2));
+        prop_assert_eq!(a.encode() == b.encode(), a == b);
+    }
+
+    /// A triple's data item always matches its subject/predicate.
+    #[test]
+    fn triple_item_projection(t in arb_triple()) {
+        let item = t.data_item();
+        prop_assert_eq!(item.subject, t.subject);
+        prop_assert_eq!(item.predicate, t.predicate);
+    }
+
+    /// Projecting a provenance onto any granularity only ever *erases*
+    /// information: every populated field equals the source field.
+    #[test]
+    fn provenance_key_fields_come_from_source(
+        prov in arb_provenance(),
+        pred in (0u32..500).prop_map(PredicateId),
+        g in prop_oneof![
+            Just(Granularity::ExtractorPage),
+            Just(Granularity::ExtractorSite),
+            Just(Granularity::ExtractorSitePredicate),
+            Just(Granularity::ExtractorSitePredicatePattern),
+            Just(Granularity::ExtractorPatternOnly),
+            Just(Granularity::PageOnly),
+        ],
+    ) {
+        let k = ProvenanceKey::at(g, &prov, pred);
+        if let Some(e) = k.extractor { prop_assert_eq!(e, prov.extractor); }
+        if let Some(p) = k.page { prop_assert_eq!(p, prov.page); }
+        if let Some(s) = k.site { prop_assert_eq!(s, prov.site); }
+        if let Some(p) = k.predicate { prop_assert_eq!(p, pred); }
+        if let Some(p) = k.pattern { prop_assert_eq!(p, prov.pattern); }
+    }
+
+    /// Same (granularity, provenance, predicate) always gives the same key —
+    /// provenance keys must be stable across the iterative pipeline rounds.
+    #[test]
+    fn provenance_key_deterministic(prov in arb_provenance(),
+                                    pred in (0u32..500).prop_map(PredicateId)) {
+        for g in Granularity::ALL {
+            prop_assert_eq!(
+                ProvenanceKey::at(g, &prov, pred),
+                ProvenanceKey::at(g, &prov, pred)
+            );
+        }
+    }
+
+    /// LCWA invariants: inserting a triple makes it True; any other value on
+    /// the same item becomes False; untouched items stay Unknown.
+    #[test]
+    fn gold_standard_lcwa(t in arb_triple(), other in arb_value(), foreign in arb_triple()) {
+        let mut gs = GoldStandard::new();
+        gs.insert(t.data_item(), t.object);
+        prop_assert_eq!(gs.label(&t), Label::True);
+        if other != t.object {
+            let conflicting = Triple::new(t.subject, t.predicate, other);
+            prop_assert_eq!(gs.label(&conflicting), Label::False);
+        }
+        if foreign.data_item() != t.data_item() {
+            prop_assert_eq!(gs.label(&foreign), Label::Unknown);
+        }
+    }
+
+    /// Gold-standard truth histogram always sums to the number of items.
+    #[test]
+    fn gold_histogram_mass(pairs in prop::collection::vec((arb_triple(), 1usize..4), 1..50)) {
+        let mut gs = GoldStandard::new();
+        for (t, extra) in &pairs {
+            for i in 0..*extra {
+                gs.insert(t.data_item(), Value::Entity(EntityId(i as u32)));
+            }
+        }
+        let hist = gs.truth_count_histogram(10);
+        prop_assert_eq!(hist.iter().sum::<usize>(), gs.n_items());
+    }
+
+    /// SkewSummary invariants: min <= median <= max and min <= mean <= max.
+    #[test]
+    fn skew_summary_bounds(counts in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let s = SkewSummary::from_counts(&counts).unwrap();
+        prop_assert!(s.min as f64 <= s.median);
+        prop_assert!(s.median <= s.max as f64);
+        prop_assert!(s.min as f64 <= s.mean && s.mean <= s.max as f64);
+        prop_assert_eq!(s.count, counts.len());
+    }
+
+    /// Interner: resolve(intern(s)) == s, and re-interning is stable.
+    #[test]
+    fn interner_roundtrip(strings in prop::collection::vec("[a-z]{1,12}", 1..50)) {
+        let mut i = Interner::new();
+        let ids: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
+        for (s, id) in strings.iter().zip(&ids) {
+            prop_assert_eq!(i.resolve(*id), s.as_str());
+            prop_assert_eq!(i.intern(s), *id);
+        }
+    }
+}
