@@ -1,1 +1,21 @@
-fn main() {}
+//! Baseline timings for the five fusion presets over a fixed corpus — the
+//! perf trajectory anchor for future optimisation PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kf_core::Fuser;
+use kf_eval::Preset;
+use kf_synth::{Corpus, SynthConfig};
+
+fn fusion_presets(c: &mut Criterion) {
+    let corpus = Corpus::generate(&SynthConfig::small(), 42);
+    for preset in Preset::ALL {
+        let fuser = Fuser::new(preset.config());
+        let gold = preset.needs_gold().then_some(&corpus.gold);
+        c.bench_function(&format!("fuse/small/{}", preset.name()), |b| {
+            b.iter(|| black_box(fuser.run(black_box(&corpus.batch), gold)))
+        });
+    }
+}
+
+criterion_group!(benches, fusion_presets);
+criterion_main!(benches);

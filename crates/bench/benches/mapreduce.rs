@@ -1,1 +1,31 @@
-fn main() {}
+//! Timings for the MapReduce substrate itself: shuffle-and-sum over skewed
+//! keys at several worker counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kf_mapreduce::{map_reduce, Emitter, MrConfig};
+
+fn shuffle_sum(c: &mut Criterion) {
+    // Zipf-ish skew: key 0 receives ~90% of the records, like the paper's
+    // hottest data items.
+    let inputs: Vec<u64> = (0..200_000).collect();
+    for workers in [1usize, 4] {
+        let cfg = MrConfig::with_workers(workers);
+        c.bench_function(&format!("mapreduce/sum200k/workers={workers}"), |b| {
+            b.iter(|| {
+                let out: Vec<(u64, u64)> = map_reduce(
+                    &cfg,
+                    black_box(&inputs),
+                    |&x, emit: &mut Emitter<u64, u64>| {
+                        let key = if x % 10 == 0 { x % 512 } else { 0 };
+                        emit.emit(key, x);
+                    },
+                    |k, vs| vec![(*k, vs.iter().sum())],
+                );
+                black_box(out)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, shuffle_sum);
+criterion_main!(benches);

@@ -1,1 +1,39 @@
-fn main() {}
+//! Cost of the §4.3 refinement stack: POPACCU with each refinement layered
+//! on, so regressions in a single refinement show up in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kf_core::{Fuser, FusionConfig};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::Granularity;
+
+fn refinement_stack(c: &mut Criterion) {
+    let corpus = Corpus::generate(&SynthConfig::tiny(), 42);
+    let cases: Vec<(&str, FusionConfig, bool)> = vec![
+        ("base", FusionConfig::popaccu(), false),
+        (
+            "fine-granularity",
+            FusionConfig::popaccu().with_granularity(Granularity::ExtractorSitePredicatePattern),
+            false,
+        ),
+        (
+            "coverage-filter",
+            FusionConfig {
+                filter_by_coverage: true,
+                ..FusionConfig::popaccu()
+            },
+            false,
+        ),
+        ("plus-unsup", FusionConfig::popaccu_plus_unsup(), false),
+        ("plus-gold", FusionConfig::popaccu_plus(), true),
+    ];
+    for (name, config, with_gold) in cases {
+        let fuser = Fuser::new(config);
+        let gold = with_gold.then_some(&corpus.gold);
+        c.bench_function(&format!("refinement/tiny/{name}"), |b| {
+            b.iter(|| black_box(fuser.run(black_box(&corpus.batch), gold)))
+        });
+    }
+}
+
+criterion_group!(benches, refinement_stack);
+criterion_main!(benches);

@@ -1,1 +1,19 @@
-fn main() {}
+//! Corpus-generation throughput: the fixture cost every other bench and
+//! test pays before fusing anything.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kf_synth::{Corpus, SynthConfig};
+
+fn generate(c: &mut Criterion) {
+    for (name, cfg) in [
+        ("tiny", SynthConfig::tiny()),
+        ("small", SynthConfig::small()),
+    ] {
+        c.bench_function(&format!("synth/generate/{name}"), |b| {
+            b.iter(|| black_box(Corpus::generate(black_box(&cfg), 42)))
+        });
+    }
+}
+
+criterion_group!(benches, generate);
+criterion_main!(benches);

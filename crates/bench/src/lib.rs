@@ -1,1 +1,264 @@
-//! placeholder — experiment harness lands here next.
+//! # kf-bench — the experiment harness
+//!
+//! Shared machinery behind the `repro` binary and the criterion benches:
+//! option parsing for the reproduction CLI, corpus-scale presets, and the
+//! end-to-end generate → fuse → evaluate driver whose output is the
+//! diffable `report.json`.
+//!
+//! ```
+//! use kf_bench::{ReproOptions, run};
+//!
+//! let opts = ReproOptions::parse(["--scale", "tiny", "--seed", "7"]).unwrap();
+//! let report = run(&opts).unwrap();
+//! assert_eq!(report.methods.len(), 5);
+//! ```
+
+use kf_eval::{AblationRunner, EvalReport, Preset};
+use kf_synth::{Corpus, SynthConfig};
+
+/// Why [`ReproOptions::parse`] did not produce options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help` was requested; print [`USAGE`] and exit successfully.
+    Help,
+    /// The arguments were invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Help => f.write_str(USAGE),
+            ParseError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Options of the `repro` binary.
+#[derive(Debug, Clone)]
+pub struct ReproOptions {
+    /// Corpus scale preset: `tiny`, `small`, `paper` (default) or `large`.
+    pub scale: String,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Where to write the JSON report (`None` = don't write).
+    pub out: Option<String>,
+    /// Fusion worker threads (`None` = library default).
+    pub workers: Option<usize>,
+    /// Calibration bins per curve.
+    pub bins: usize,
+    /// Presets to run (default: all five).
+    pub presets: Vec<Preset>,
+}
+
+impl Default for ReproOptions {
+    fn default() -> Self {
+        ReproOptions {
+            scale: "paper".to_string(),
+            seed: 42,
+            out: Some("report.json".to_string()),
+            workers: None,
+            bins: 10,
+            presets: Preset::ALL.to_vec(),
+        }
+    }
+}
+
+impl ReproOptions {
+    /// Parse CLI arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<ReproOptions, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let invalid = |msg: String| ParseError::Invalid(msg);
+        let mut opts = ReproOptions::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            let mut value = |name: &str| {
+                it.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| ParseError::Invalid(format!("{name} requires a value")))
+            };
+            match arg {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    if scale_config(&v).is_none() {
+                        return Err(invalid(format!(
+                            "unknown scale {v:?} (expected tiny|small|paper|large)"
+                        )));
+                    }
+                    opts.scale = v;
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    opts.seed = v.parse().map_err(|_| invalid(format!("bad seed {v:?}")))?;
+                }
+                "--out" => opts.out = Some(value("--out")?),
+                "--no-out" => opts.out = None,
+                "--workers" => {
+                    let v = value("--workers")?;
+                    opts.workers = Some(
+                        v.parse()
+                            .map_err(|_| invalid(format!("bad worker count {v:?}")))?,
+                    );
+                }
+                "--bins" => {
+                    let v = value("--bins")?;
+                    opts.bins = v
+                        .parse()
+                        .map_err(|_| invalid(format!("bad bin count {v:?}")))?;
+                }
+                "--presets" => {
+                    let v = value("--presets")?;
+                    let mut presets = Vec::new();
+                    for name in v.split(',') {
+                        presets.push(
+                            Preset::by_name(name.trim())
+                                .ok_or_else(|| invalid(format!("unknown preset {name:?}")))?,
+                        );
+                    }
+                    if presets.is_empty() {
+                        return Err(invalid("--presets needs at least one name".to_string()));
+                    }
+                    opts.presets = presets;
+                }
+                "--help" | "-h" => return Err(ParseError::Help),
+                other => return Err(invalid(format!("unknown argument {other:?}\n{USAGE}"))),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+repro — generate a synthetic corpus, fuse it under the paper's five presets,
+evaluate calibration and PR quality, and write a diffable report.json.
+
+options:
+  --scale tiny|small|paper|large   corpus size (default: paper)
+  --seed N                         corpus seed (default: 42)
+  --out PATH                       report path (default: report.json)
+  --no-out                         skip writing the report file
+  --workers N                      fusion worker threads
+  --bins N                         calibration bins (default: 10)
+  --presets a,b,c                  subset of: vote,accu,popaccu,
+                                   popaccu_plus_unsup,popaccu_plus
+";
+
+/// The corpus configuration for a scale name.
+pub fn scale_config(scale: &str) -> Option<SynthConfig> {
+    match scale {
+        "tiny" => Some(SynthConfig::tiny()),
+        "small" => Some(SynthConfig::small()),
+        "paper" => Some(SynthConfig::paper()),
+        "large" => Some(SynthConfig::large()),
+        _ => None,
+    }
+}
+
+/// Generate the corpus described by `opts`. Errors on an unknown scale
+/// (possible when options are built directly rather than parsed).
+pub fn generate_corpus(opts: &ReproOptions) -> Result<Corpus, String> {
+    let config = scale_config(&opts.scale).ok_or_else(|| {
+        format!(
+            "unknown scale {:?} (expected tiny|small|paper|large)",
+            opts.scale
+        )
+    })?;
+    Ok(Corpus::generate(&config, opts.seed))
+}
+
+/// End-to-end: generate, fuse each preset, evaluate, assemble the report.
+pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
+    let corpus = generate_corpus(opts)?;
+    Ok(run_on_corpus(opts, &corpus))
+}
+
+/// [`run`] over an existing corpus.
+pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
+    let runner = AblationRunner {
+        n_bins: opts.bins,
+        workers: opts.workers,
+        scale: opts.scale.clone(),
+        ..Default::default()
+    };
+    let methods = opts
+        .presets
+        .iter()
+        .map(|&preset| runner.run_preset(corpus, preset))
+        .collect();
+    EvalReport {
+        corpus: runner.corpus_summary(corpus),
+        methods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let opts = ReproOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(opts.scale, "paper");
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.out.as_deref(), Some("report.json"));
+        assert_eq!(opts.presets.len(), 5);
+    }
+
+    #[test]
+    fn parse_all_options() {
+        let opts = ReproOptions::parse([
+            "--scale",
+            "tiny",
+            "--seed",
+            "9",
+            "--out",
+            "x.json",
+            "--workers",
+            "3",
+            "--bins",
+            "20",
+            "--presets",
+            "vote,popaccu",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale, "tiny");
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.out.as_deref(), Some("x.json"));
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.bins, 20);
+        assert_eq!(opts.presets, vec![Preset::Vote, Preset::PopAccu]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ReproOptions::parse(["--scale", "huge"]).is_err());
+        assert!(ReproOptions::parse(["--seed", "abc"]).is_err());
+        assert!(ReproOptions::parse(["--presets", "nope"]).is_err());
+        assert!(ReproOptions::parse(["--frobnicate"]).is_err());
+        assert!(ReproOptions::parse(["--seed"]).is_err());
+    }
+
+    #[test]
+    fn tiny_end_to_end_produces_all_presets() {
+        let opts = ReproOptions {
+            scale: "tiny".into(),
+            seed: 5,
+            out: None,
+            workers: Some(2),
+            ..Default::default()
+        };
+        let report = run(&opts).unwrap();
+        assert_eq!(report.methods.len(), 5);
+        assert!(report.corpus.n_records > 0);
+        for m in &report.methods {
+            assert!(m.wdev().is_finite());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Corpus-shape diagnostics (ignored by default; run with
+//! `cargo test -p kf-bench --test sweep -- --ignored --nocapture`).
+//!
+//! Prints, for a grid of corpus shapes, the metrics the paper's Fig. 9
+//! ordering depends on: WDEV per method, separation (mean P of true minus
+//! mean P of false triples), and high-band accuracy lift. Used to choose
+//! the default `SynthConfig` parameters; kept because the next corpus
+//! change will need it again.
+
+use kf_eval::{AblationRunner, Preset};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::Label;
+
+fn separation(corpus: &Corpus, out: &kf_core::FusionOutput) -> f64 {
+    let (mut st, mut nt, mut sf, mut nf) = (0.0, 0usize, 0.0, 0usize);
+    for s in &out.scored {
+        let Some(p) = s.probability else { continue };
+        match corpus.gold.label(&s.triple) {
+            Label::True => {
+                st += p;
+                nt += 1;
+            }
+            Label::False => {
+                sf += p;
+                nf += 1;
+            }
+            Label::Unknown => {}
+        }
+    }
+    st / nt.max(1) as f64 - sf / nf.max(1) as f64
+}
+
+fn band_accuracy(corpus: &Corpus, out: &kf_core::FusionOutput, lo: f64, hi: f64) -> (f64, usize) {
+    let (mut t, mut n) = (0usize, 0usize);
+    for s in &out.scored {
+        let Some(p) = s.probability else { continue };
+        if p < lo || p >= hi {
+            continue;
+        }
+        match corpus.gold.label(&s.triple) {
+            Label::True => {
+                t += 1;
+                n += 1;
+            }
+            Label::False => n += 1,
+            Label::Unknown => {}
+        }
+    }
+    (if n > 0 { t as f64 / n as f64 } else { f64::NAN }, n)
+}
+
+fn profile(name: &str, cfg: &SynthConfig, seed: u64) {
+    let corpus = Corpus::generate(cfg, seed);
+    let runner = AblationRunner::default();
+    let base = corpus.lcwa_accuracy();
+    let mut line = format!(
+        "{name:26} seed={seed} rec={:7} uniq={:6} items={:6} vals/item={:.2} lcwa={base:.3} | ",
+        corpus.batch.len(),
+        corpus.batch.unique_triples(),
+        corpus.batch.unique_data_items(),
+        corpus.batch.unique_triples() as f64 / corpus.batch.unique_data_items() as f64,
+    );
+    let mut wdevs = Vec::new();
+    for preset in [Preset::Vote, Preset::PopAccu, Preset::PopAccuPlus] {
+        let gold = preset.needs_gold().then_some(&corpus.gold);
+        let out = kf_core::Fuser::new(preset.config()).run(&corpus.batch, gold);
+        let eval = runner.evaluate(preset, &out, &corpus.gold, 0.0);
+        let sep = separation(&corpus, &out);
+        let (hb, hn) = band_accuracy(&corpus, &out, 0.9, 1.01);
+        line.push_str(&format!(
+            "{}: wdev={:.4} auc={:.3} sep={sep:+.3} hi={hb:.2}({hn}) | ",
+            preset.label(),
+            eval.wdev(),
+            eval.auc_pr(),
+        ));
+        wdevs.push(eval.wdev());
+    }
+    line.push_str(if wdevs[2] <= wdevs[0] {
+        "ORDER-OK"
+    } else {
+        "order-BAD"
+    });
+    println!("{line}");
+}
+
+/// The acceptance gate for the default reproduction: on the `paper`-scale
+/// corpus the Fig. 9 / Figs. 10–15 orderings must hold — POPACCU+ at least
+/// as well-calibrated as VOTE, and the best ranker of the three.
+///
+/// Ignored by default because it fuses the quarter-million-record corpus
+/// five times; run with `cargo test --release -p kf-bench -- --ignored`
+/// (CI does).
+#[test]
+#[ignore]
+fn fig9_ordering_on_default_corpus() {
+    let opts = kf_bench::ReproOptions {
+        out: None,
+        ..Default::default()
+    };
+    let report = kf_bench::run(&opts).expect("default options are valid");
+    let vote = report.method("vote").expect("vote in report");
+    let popaccu = report.method("popaccu").expect("popaccu in report");
+    let plus = report
+        .method("popaccu_plus")
+        .expect("popaccu_plus in report");
+    assert!(
+        plus.wdev() <= vote.wdev(),
+        "POPACCU+ WDEV {} must not exceed VOTE WDEV {}",
+        plus.wdev(),
+        vote.wdev()
+    );
+    assert!(
+        plus.auc_pr() > popaccu.auc_pr() && popaccu.auc_pr() > vote.auc_pr(),
+        "AUC-PR ordering violated: POPACCU+ {} vs POPACCU {} vs VOTE {}",
+        plus.auc_pr(),
+        popaccu.auc_pr(),
+        vote.auc_pr()
+    );
+}
+
+#[test]
+#[ignore]
+fn sweep_corpus_shapes() {
+    for seed in [42, 7, 13] {
+        profile("small (current)", &SynthConfig::small(), seed);
+        {
+            let mut cfg = SynthConfig::paper();
+            cfg.world.n_entities = 24_000;
+            profile("paper ent=24k", &cfg, seed);
+        }
+        {
+            let mut cfg = SynthConfig::paper();
+            cfg.world.n_entities = 30_000;
+            profile("paper ent=30k", &cfg, seed);
+        }
+        {
+            let mut cfg = SynthConfig::paper();
+            cfg.world.n_entities = 24_000;
+            cfg.world.entity_zipf_exponent = 1.2;
+            profile("paper ent=24k zipf=1.2", &cfg, seed);
+        }
+        {
+            let mut cfg = SynthConfig::paper();
+            cfg.world.n_entities = 30_000;
+            cfg.web.mean_claims_per_page = 5.0;
+            profile("paper ent=30k cl=5", &cfg, seed);
+        }
+        println!();
+    }
+}

@@ -18,8 +18,7 @@
 
 use crate::result::FusionOutput;
 use kf_types::{
-    DataItem, ExtractionBatch, FxHashMap, GoldStandard, PredicateId, Triple, Value,
-    ValueHierarchy,
+    DataItem, ExtractionBatch, FxHashMap, GoldStandard, PredicateId, Triple, Value, ValueHierarchy,
 };
 
 /// Learned per-predicate functionality: the expected number of true values
@@ -295,10 +294,7 @@ mod tests {
         }
         let model = FunctionalityModel::learn_from_gold(&gold);
         // Two values splitting the mass 0.5/0.4 under single-truth.
-        let mut out = output(vec![
-            scored(7, 1, Some(0.5)),
-            scored(7, 2, Some(0.4)),
-        ]);
+        let mut out = output(vec![scored(7, 1, Some(0.5)), scored(7, 2, Some(0.4))]);
         model.apply(&mut out);
         let p1 = out.scored[0].probability.unwrap();
         let p2 = out.scored[1].probability.unwrap();

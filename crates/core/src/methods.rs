@@ -130,8 +130,8 @@ pub fn popaccu(cands: &[Vec<f64>], counts: &[usize], inner_iters: usize) -> Vec<
 /// log space.
 fn softmax_with_extra_mass(scores: &[f64], extra_mass: f64) -> Vec<f64> {
     let max = scores.iter().copied().fold(0.0f64, f64::max); // includes the 0 of extra mass
-    let denom: f64 = scores.iter().map(|&s| (s - max).exp()).sum::<f64>()
-        + extra_mass * (-max).exp();
+    let denom: f64 =
+        scores.iter().map(|&s| (s - max).exp()).sum::<f64>() + extra_mass * (-max).exp();
     scores.iter().map(|&s| (s - max).exp() / denom).collect()
 }
 
@@ -313,9 +313,7 @@ mod tests {
             let weak: Vec<Vec<f64>> = vec![vec![0.8; k], vec![0.8]];
             let strong: Vec<Vec<f64>> = vec![vec![0.8; k + 1], vec![0.8]];
             assert!(accu(&strong, 100.0)[0] >= accu(&weak, 100.0)[0]);
-            assert!(
-                popaccu(&strong, &[k + 1, 1], 8)[0] >= popaccu(&weak, &[k, 1], 8)[0] - 1e-9
-            );
+            assert!(popaccu(&strong, &[k + 1, 1], 8)[0] >= popaccu(&weak, &[k, 1], 8)[0] - 1e-9);
             assert!(vote(&[k + 1, 1])[0] >= vote(&[k, 1])[0]);
         }
     }

@@ -43,7 +43,11 @@ impl ItemGroup {
 
     /// The triple for value index `vi`.
     pub fn triple(&self, vi: usize) -> Triple {
-        Triple::new(self.item.subject, self.item.predicate, self.values[vi].value)
+        Triple::new(
+            self.item.subject,
+            self.item.predicate,
+            self.values[vi].value,
+        )
     }
 }
 
@@ -125,8 +129,8 @@ impl Grouped {
             mr,
             batch,
             |e: &Extraction, emit: &mut Emitter<DataItem, Obs>| {
-                let pid = key_index
-                    [&ProvenanceKey::at(granularity, &e.provenance, e.triple.predicate)];
+                let pid =
+                    key_index[&ProvenanceKey::at(granularity, &e.provenance, e.triple.predicate)];
                 emit.emit(
                     e.triple.data_item(),
                     (
@@ -138,8 +142,9 @@ impl Grouped {
                 );
             },
             |item, observations| {
-                let mut by_value: FxHashMap<Value, (FxHashSet<u32>, FxHashSet<u16>, FxHashSet<u32>)> =
-                    FxHashMap::default();
+                // Per-value (provenance ids, extractors, pages).
+                type Support = (FxHashSet<u32>, FxHashSet<u16>, FxHashSet<u32>);
+                let mut by_value: FxHashMap<Value, Support> = FxHashMap::default();
                 for (value, pid, ext, page) in observations {
                     let slot = by_value.entry(value).or_default();
                     slot.0.insert(pid);
@@ -160,7 +165,10 @@ impl Grouped {
                     })
                     .collect();
                 values.sort_unstable_by_key(|v| v.value);
-                vec![ItemGroup { item: *item, values }]
+                vec![ItemGroup {
+                    item: *item,
+                    values,
+                }]
             },
         );
         // The engine only orders keys within a shuffle partition; sort
@@ -281,7 +289,11 @@ mod tests {
             .map(|i| ext(i % 13, i % 3, i % 7, (i % 4) as u16, i))
             .collect();
         let a = build(&batch);
-        let b = Grouped::build(&batch, Granularity::ExtractorPage, &MrConfig::with_workers(7));
+        let b = Grouped::build(
+            &batch,
+            Granularity::ExtractorPage,
+            &MrConfig::with_workers(7),
+        );
         assert_eq!(a.items.len(), b.items.len());
         for (x, y) in a.items.iter().zip(&b.items) {
             assert_eq!(x.item, y.item);

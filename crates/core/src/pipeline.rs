@@ -22,6 +22,9 @@ use crate::result::{FusionOutput, ScoredTriple};
 use kf_mapreduce::{map_reduce_with_stats, Emitter, IterativeDriver, JobStats, Reservoir};
 use kf_types::{hash, Extraction, ExtractionBatch, GoldStandard, Label};
 
+/// One Stage-I result: `(slot index, probability, fallback flag)`.
+type SlotScore = (usize, Option<f64>, bool);
+
 /// The fusion engine. Construct with a [`FusionConfig`], then call
 /// [`Fuser::run`] on a batch of extractions (optionally with a gold
 /// standard for the semi-supervised initialisation).
@@ -49,11 +52,7 @@ impl Fuser {
     }
 
     /// [`Fuser::run`] over a raw record slice.
-    pub fn run_records(
-        &self,
-        records: &[Extraction],
-        gold: Option<&GoldStandard>,
-    ) -> FusionOutput {
+    pub fn run_records(&self, records: &[Extraction], gold: Option<&GoldStandard>) -> FusionOutput {
         let cfg = &self.config;
         let mut grouped = Grouped::build(records, cfg.granularity, &cfg.mr);
         let mut stats = JobStats::new(records.len() as u64);
@@ -142,7 +141,7 @@ impl Fuser {
         grouped: &Grouped,
         offsets: &[usize],
         round: usize,
-    ) -> (Vec<(usize, Option<f64>, bool)>, JobStats) {
+    ) -> (Vec<SlotScore>, JobStats) {
         let cfg = &self.config;
         let provs = &grouped.provs;
         let coverage_filtering = cfg.filter_by_coverage;
@@ -168,7 +167,7 @@ impl Fuser {
         let (out, stats) = map_reduce_with_stats(
             &cfg.mr,
             &indices,
-            |&gi, emit: &mut Emitter<usize, Vec<(usize, Option<f64>, bool)>>| {
+            |&gi, emit: &mut Emitter<usize, Vec<SlotScore>>| {
                 let group = &grouped.items[gi];
                 let slot0 = offsets[gi];
                 let results = self.score_item(group, grouped, round, slot0, &active);
@@ -187,7 +186,7 @@ impl Fuser {
         round: usize,
         slot0: usize,
         active: &dyn Fn(u32) -> bool,
-    ) -> Vec<(usize, Option<f64>, bool)> {
+    ) -> Vec<SlotScore> {
         let cfg = &self.config;
         let provs = &grouped.provs;
 
@@ -215,8 +214,7 @@ impl Fuser {
         let mut cands: Vec<Vec<f64>> = Vec::with_capacity(group.values.len());
         let mut counts: Vec<usize> = Vec::with_capacity(group.values.len());
         for vg in &group.values {
-            let active_pids: Vec<u32> =
-                vg.provs.iter().copied().filter(|&p| active(p)).collect();
+            let active_pids: Vec<u32> = vg.provs.iter().copied().filter(|&p| active(p)).collect();
             let sampled = Reservoir::sample_vec(
                 active_pids,
                 cfg.sample_limit,
@@ -242,8 +240,7 @@ impl Fuser {
                 .iter()
                 .enumerate()
                 .map(|(vi, vg)| {
-                    let has_evaluated =
-                        vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
+                    let has_evaluated = vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
                     if cfg.accuracy_threshold.is_some() && has_evaluated {
                         let mean = vg
                             .provs
@@ -273,8 +270,7 @@ impl Fuser {
                 if counts[vi] == 0 {
                     // This value's provenances were all filtered even though
                     // siblings survived: same fallback policy.
-                    let has_evaluated =
-                        vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
+                    let has_evaluated = vg.provs.iter().any(|&p| provs.evaluated[p as usize]);
                     if cfg.accuracy_threshold.is_some() && has_evaluated {
                         let mean = vg
                             .provs
@@ -652,7 +648,7 @@ mod tests {
     }
 
     #[test]
-    fn round_deltas_shrink(){
+    fn round_deltas_shrink() {
         let batch: ExtractionBatch = (0..5000)
             .map(|i| ext(i % 200, i % 3, i % 6, (i % 8) as u16, i % 700))
             .collect();

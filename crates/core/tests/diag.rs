@@ -24,7 +24,8 @@ fn diag_bands() {
         ("POPACCU+", FusionConfig::popaccu_plus(), true),
         (
             "POPACCU+gran-only",
-            FusionConfig::popaccu().with_granularity(kf_types::Granularity::ExtractorSitePredicatePattern),
+            FusionConfig::popaccu()
+                .with_granularity(kf_types::Granularity::ExtractorSitePredicatePattern),
             false,
         ),
         (
@@ -46,7 +47,7 @@ fn diag_bands() {
     ];
     for (name, cfg, with_gold) in configs {
         let out = Fuser::new(cfg).run(&c.batch, if with_gold { Some(&c.gold) } else { None });
-        let mut bands = vec![(0usize, 0usize); 10];
+        let mut bands = [(0usize, 0usize); 10];
         let (mut st, mut nt, mut sf, mut nf) = (0.0, 0usize, 0.0, 0usize);
         for s in &out.scored {
             let Some(p) = s.probability else { continue };

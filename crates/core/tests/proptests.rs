@@ -7,10 +7,7 @@ use proptest::prelude::*;
 /// Candidate sets: up to 8 values, each with up to 10 provenances whose
 /// accuracies lie in (0, 1).
 fn arb_cands() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.05f64..0.95, 1..10),
-        1..8,
-    )
+    prop::collection::vec(prop::collection::vec(0.05f64..0.95, 1..10), 1..8)
 }
 
 proptest! {

@@ -1,0 +1,230 @@
+//! The ablation runner: the paper's five named systems over one corpus.
+//!
+//! §4.3.4 / Figs. 9–15 compare VOTE, ACCU, POPACCU, POPACCU+unsup and
+//! POPACCU+ (semi-supervised). [`Preset`] names those five configurations;
+//! [`AblationRunner`] fuses a [`kf_synth::Corpus`] under each and evaluates
+//! the result against the corpus's gold standard, producing a diffable
+//! [`EvalReport`].
+
+use crate::labels::LabeledOutput;
+use crate::report::{evaluate_labeled, CorpusSummary, EvalReport, MethodEval};
+use kf_core::{Fuser, FusionConfig};
+use kf_synth::Corpus;
+use kf_types::GoldStandard;
+use std::time::Instant;
+
+/// The five named systems of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Baseline VOTE.
+    Vote,
+    /// Basic ACCU.
+    Accu,
+    /// Basic POPACCU.
+    PopAccu,
+    /// POPACCU + granularity/coverage/threshold refinements, unsupervised.
+    PopAccuPlusUnsup,
+    /// POPACCU+ with gold-seeded accuracies (semi-supervised).
+    PopAccuPlus,
+}
+
+impl Preset {
+    /// All presets, in the paper's ablation order.
+    pub const ALL: [Preset; 5] = [
+        Preset::Vote,
+        Preset::Accu,
+        Preset::PopAccu,
+        Preset::PopAccuPlusUnsup,
+        Preset::PopAccuPlus,
+    ];
+
+    /// Machine-readable name (stable; used as the report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Vote => "vote",
+            Preset::Accu => "accu",
+            Preset::PopAccu => "popaccu",
+            Preset::PopAccuPlusUnsup => "popaccu_plus_unsup",
+            Preset::PopAccuPlus => "popaccu_plus",
+        }
+    }
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Preset::Vote => "VOTE",
+            Preset::Accu => "ACCU",
+            Preset::PopAccu => "POPACCU",
+            Preset::PopAccuPlusUnsup => "POPACCU+unsup",
+            Preset::PopAccuPlus => "POPACCU+",
+        }
+    }
+
+    /// The preset's fusion configuration.
+    pub fn config(self) -> FusionConfig {
+        match self {
+            Preset::Vote => FusionConfig::vote(),
+            Preset::Accu => FusionConfig::accu(),
+            Preset::PopAccu => FusionConfig::popaccu(),
+            Preset::PopAccuPlusUnsup => FusionConfig::popaccu_plus_unsup(),
+            Preset::PopAccuPlus => FusionConfig::popaccu_plus(),
+        }
+    }
+
+    /// Whether the preset consumes the gold standard during fusion.
+    pub fn needs_gold(self) -> bool {
+        matches!(self, Preset::PopAccuPlus)
+    }
+
+    /// Look a preset up by its machine name.
+    pub fn by_name(name: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Runs presets over a corpus and assembles the report.
+#[derive(Debug, Clone)]
+pub struct AblationRunner {
+    /// Calibration bins per curve (the paper uses coarse buckets; 10 is the
+    /// Fig. 9 granularity).
+    pub n_bins: usize,
+    /// Precision@k cut-offs to report.
+    pub ks: Vec<usize>,
+    /// Worker threads for fusion (`None` = library default).
+    pub workers: Option<usize>,
+    /// Scale label recorded in the report (informational).
+    pub scale: String,
+}
+
+impl Default for AblationRunner {
+    fn default() -> Self {
+        AblationRunner {
+            n_bins: 10,
+            ks: vec![10, 100, 1_000, 10_000],
+            workers: None,
+            scale: String::new(),
+        }
+    }
+}
+
+impl AblationRunner {
+    /// Evaluate one preset over `corpus`.
+    pub fn run_preset(&self, corpus: &Corpus, preset: Preset) -> MethodEval {
+        let mut config = preset.config();
+        if let Some(w) = self.workers {
+            config = config.with_workers(w);
+        }
+        let gold = preset.needs_gold().then_some(&corpus.gold);
+        let start = Instant::now();
+        let output = Fuser::new(config).run(&corpus.batch, gold);
+        let fuse_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.evaluate(preset, &output, &corpus.gold, fuse_ms)
+    }
+
+    /// Evaluate an already-fused output as `preset`.
+    pub fn evaluate(
+        &self,
+        preset: Preset,
+        output: &kf_core::FusionOutput,
+        gold: &GoldStandard,
+        fuse_ms: f64,
+    ) -> MethodEval {
+        let labeled = LabeledOutput::label(output, gold);
+        evaluate_labeled(
+            preset.name(),
+            preset.label(),
+            &labeled,
+            output.predicted_fraction(),
+            self.n_bins,
+            &self.ks,
+            fuse_ms,
+        )
+    }
+
+    /// Run all five presets and assemble the full report.
+    pub fn run(&self, corpus: &Corpus) -> EvalReport {
+        let methods = Preset::ALL
+            .into_iter()
+            .map(|preset| self.run_preset(corpus, preset))
+            .collect();
+        EvalReport {
+            corpus: self.corpus_summary(corpus),
+            methods,
+        }
+    }
+
+    /// Corpus context for the report header.
+    pub fn corpus_summary(&self, corpus: &Corpus) -> CorpusSummary {
+        CorpusSummary {
+            scale: self.scale.clone(),
+            seed: corpus.seed,
+            n_records: corpus.batch.len(),
+            n_unique_triples: corpus.batch.unique_triples(),
+            n_data_items: corpus.batch.unique_data_items(),
+            n_gold_items: corpus.gold.n_items(),
+            lcwa_accuracy: corpus.lcwa_accuracy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_synth::SynthConfig;
+
+    #[test]
+    fn preset_names_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::by_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn preset_configs_match_kf_core_presets() {
+        assert_eq!(Preset::Vote.config().method, FusionConfig::vote().method);
+        assert!(Preset::PopAccuPlusUnsup.config().filter_by_coverage);
+        assert!(Preset::PopAccuPlus.needs_gold());
+        assert!(!Preset::PopAccuPlusUnsup.needs_gold());
+    }
+
+    #[test]
+    fn ablation_over_tiny_corpus_produces_finite_metrics() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 7);
+        let runner = AblationRunner {
+            scale: "tiny".into(),
+            workers: Some(2),
+            ..Default::default()
+        };
+        let report = runner.run(&corpus);
+        assert_eq!(report.methods.len(), 5);
+        assert_eq!(report.corpus.n_records, corpus.batch.len());
+        for m in &report.methods {
+            assert!(m.n_labelled > 0, "{}: no labelled triples", m.name);
+            assert!(m.wdev().is_finite() && m.wdev() >= 0.0);
+            assert!(m.ece().is_finite() && (0.0..=1.0).contains(&m.ece()));
+            assert!((0.0..=1.0 + 1e-9).contains(&m.auc_pr()), "{}", m.name);
+            assert!((0.0..=1.0).contains(&m.coverage));
+            assert_eq!(m.calibration_width.bins.len(), 10);
+        }
+        // The report serializes and names every preset.
+        let json = report.to_json_string();
+        for p in Preset::ALL {
+            assert!(json.contains(&format!("\"{}\"", p.name())));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 3);
+        let runner = AblationRunner {
+            workers: Some(2),
+            ..Default::default()
+        };
+        let a = runner.run_preset(&corpus, Preset::PopAccu);
+        let b = runner.run_preset(&corpus, Preset::PopAccu);
+        assert_eq!(a.wdev(), b.wdev());
+        assert_eq!(a.auc_pr(), b.auc_pr());
+        assert_eq!(a.coverage, b.coverage);
+    }
+}

@@ -1,0 +1,272 @@
+//! Probability calibration: binned curves, weighted deviation, ECE.
+//!
+//! The paper's headline quality claim is *calibration* (§5.2, Figs. 6/9):
+//! among triples predicted with probability ~p, a fraction ~p should be
+//! true under LCWA. This module bins `(probability, is_true)` pairs two
+//! ways — equal-width bins (the paper's figures) and equal-mass quantile
+//! bins (robust when the probability mass piles up at the ends) — and
+//! summarises each curve with:
+//!
+//! * **WDEV** — the paper's weighted deviation: the bin-count-weighted mean
+//!   *squared* gap between mean predicted probability and observed
+//!   accuracy.
+//! * **ECE** — expected calibration error: the same weighting applied to
+//!   the *absolute* gap (the standard ML-calibration summary).
+
+/// How to partition `[0, 1]` into bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// `n` bins of width `1/n` (the paper's Fig. 6/9 curves).
+    EqualWidth(usize),
+    /// `n` quantile bins with (near-)equal numbers of predictions.
+    EqualMass(usize),
+}
+
+/// One calibration bin.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted probability (bin midpoint when empty).
+    pub mean_predicted: f64,
+    /// Fraction of the bin's predictions that are true (NaN when empty).
+    pub observed_accuracy: f64,
+}
+
+/// A binned calibration curve with its summary statistics.
+#[derive(Debug, Clone)]
+pub struct CalibrationCurve {
+    /// The binning that produced the curve.
+    pub binning: Binning,
+    /// The bins, in increasing probability order, partitioning `[0, 1]`.
+    pub bins: Vec<CalibrationBin>,
+    /// Weighted mean squared deviation (the paper's WDEV).
+    pub wdev: f64,
+    /// Expected calibration error (weighted mean absolute deviation).
+    pub ece: f64,
+}
+
+/// Compute a calibration curve over `(probability, is_true)` pairs.
+///
+/// Probabilities are clamped into `[0, 1]`; the pair list may be empty, in
+/// which case every bin is empty and both summaries are 0.
+pub fn calibration_curve(predictions: &[(f64, bool)], binning: Binning) -> CalibrationCurve {
+    let bins = match binning {
+        Binning::EqualWidth(n) => equal_width_bins(predictions, n.max(1)),
+        Binning::EqualMass(n) => equal_mass_bins(predictions, n.max(1)),
+    };
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    let (mut wdev, mut ece) = (0.0, 0.0);
+    if total > 0 {
+        for b in &bins {
+            if b.count == 0 {
+                continue;
+            }
+            let w = b.count as f64 / total as f64;
+            let gap = b.mean_predicted - b.observed_accuracy;
+            wdev += w * gap * gap;
+            ece += w * gap.abs();
+        }
+    }
+    CalibrationCurve {
+        binning,
+        bins,
+        wdev,
+        ece,
+    }
+}
+
+fn equal_width_bins(predictions: &[(f64, bool)], n: usize) -> Vec<CalibrationBin> {
+    let mut sums = vec![(0usize, 0.0f64, 0usize); n]; // (count, sum_p, n_true)
+    for &(p, t) in predictions {
+        let p = p.clamp(0.0, 1.0);
+        let i = ((p * n as f64) as usize).min(n - 1);
+        sums[i].0 += 1;
+        sums[i].1 += p;
+        sums[i].2 += t as usize;
+    }
+    sums.iter()
+        .enumerate()
+        .map(|(i, &(count, sum_p, n_true))| {
+            let lo = i as f64 / n as f64;
+            let hi = (i + 1) as f64 / n as f64;
+            CalibrationBin {
+                lo,
+                hi,
+                count,
+                mean_predicted: if count > 0 {
+                    sum_p / count as f64
+                } else {
+                    (lo + hi) / 2.0
+                },
+                observed_accuracy: if count > 0 {
+                    n_true as f64 / count as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+fn equal_mass_bins(predictions: &[(f64, bool)], n: usize) -> Vec<CalibrationBin> {
+    if predictions.is_empty() {
+        return equal_width_bins(predictions, n);
+    }
+    let mut sorted: Vec<(f64, bool)> = predictions
+        .iter()
+        .map(|&(p, t)| (p.clamp(0.0, 1.0), t))
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Contiguous chunks whose sizes differ by at most one; bin edges fall
+    // halfway between adjacent chunks so the bins still partition [0, 1].
+    let n = n.min(sorted.len());
+    let base = sorted.len() / n;
+    let extra = sorted.len() % n;
+    let mut bins = Vec::with_capacity(n);
+    let mut start = 0usize;
+    let mut prev_edge = 0.0f64;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        let chunk = &sorted[start..start + size];
+        let hi = if i + 1 == n {
+            1.0
+        } else {
+            let last = chunk[size - 1].0;
+            let next = sorted[start + size].0;
+            (last + next) / 2.0
+        };
+        let count = chunk.len();
+        let sum_p: f64 = chunk.iter().map(|&(p, _)| p).sum();
+        let n_true = chunk.iter().filter(|&&(_, t)| t).count();
+        bins.push(CalibrationBin {
+            lo: prev_edge,
+            hi,
+            count,
+            mean_predicted: sum_p / count as f64,
+            observed_accuracy: n_true as f64 / count as f64,
+        });
+        prev_edge = hi;
+        start += size;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    /// Hand-computed fixture: two populated width-2 bins.
+    ///
+    /// Bin [0, 0.5): predictions (0.2, F), (0.4, T) → mean_pred = 0.3,
+    /// observed = 0.5, gap = −0.2.
+    /// Bin [0.5, 1]: (0.8, T), (0.8, T), (1.0, F) → mean_pred ≈ 0.8667,
+    /// observed = 2/3, gap = 0.2.
+    /// Weights 2/5 and 3/5 ⇒ WDEV = 0.4·0.04 + 0.6·0.04 = 0.04,
+    /// ECE = 0.4·0.2 + 0.6·0.2 = 0.2.
+    #[test]
+    fn wdev_and_ece_match_hand_computation() {
+        let preds = [
+            (0.2, false),
+            (0.4, true),
+            (0.8, true),
+            (0.8, true),
+            (1.0, false),
+        ];
+        let c = calibration_curve(&preds, Binning::EqualWidth(2));
+        assert_eq!(c.bins.len(), 2);
+        assert!(approx(c.bins[0].mean_predicted, 0.3));
+        assert!(approx(c.bins[0].observed_accuracy, 0.5));
+        assert!(approx(c.bins[1].mean_predicted, 2.6 / 3.0));
+        assert!(approx(c.bins[1].observed_accuracy, 2.0 / 3.0));
+        let gap1: f64 = 2.6 / 3.0 - 2.0 / 3.0; // 0.2
+        assert!(approx(c.wdev, 0.4 * 0.04 + 0.6 * gap1 * gap1));
+        assert!(approx(c.ece, 0.4 * 0.2 + 0.6 * gap1));
+    }
+
+    #[test]
+    fn perfectly_calibrated_input_scores_zero() {
+        // In each bin, observed accuracy equals mean predicted probability.
+        let mut preds = Vec::new();
+        for _ in 0..10 {
+            preds.push((0.25, true));
+            preds.push((0.25, false));
+            preds.push((0.25, false));
+            preds.push((0.25, false));
+        }
+        let c = calibration_curve(&preds, Binning::EqualWidth(4));
+        assert!(c.wdev < 1e-24);
+        assert!(c.ece < 1e-12);
+    }
+
+    #[test]
+    fn probability_one_lands_in_last_bin() {
+        let preds = [(1.0, true), (0.999, true)];
+        let c = calibration_curve(&preds, Binning::EqualWidth(10));
+        assert_eq!(c.bins[9].count, 2);
+    }
+
+    #[test]
+    fn equal_width_bins_partition_unit_interval() {
+        let c = calibration_curve(&[], Binning::EqualWidth(7));
+        assert_eq!(c.bins.len(), 7);
+        assert!(approx(c.bins[0].lo, 0.0));
+        assert!(approx(c.bins[6].hi, 1.0));
+        for w in c.bins.windows(2) {
+            assert!(approx(w[0].hi, w[1].lo));
+        }
+        assert_eq!(c.wdev, 0.0);
+        assert_eq!(c.ece, 0.0);
+    }
+
+    #[test]
+    fn equal_mass_bins_balance_counts() {
+        let preds: Vec<(f64, bool)> = (0..100).map(|i| (i as f64 / 100.0, i % 3 == 0)).collect();
+        let c = calibration_curve(&preds, Binning::EqualMass(8));
+        assert_eq!(c.bins.iter().map(|b| b.count).sum::<usize>(), 100);
+        for b in &c.bins {
+            assert!((12..=13).contains(&b.count), "bin count {}", b.count);
+        }
+        // Partition of [0, 1].
+        assert!(approx(c.bins[0].lo, 0.0));
+        assert!(approx(c.bins.last().unwrap().hi, 1.0));
+        for w in c.bins.windows(2) {
+            assert!(approx(w[0].hi, w[1].lo));
+        }
+    }
+
+    #[test]
+    fn equal_mass_with_fewer_points_than_bins() {
+        let preds = [(0.1, true), (0.9, false)];
+        let c = calibration_curve(&preds, Binning::EqualMass(10));
+        assert_eq!(c.bins.len(), 2);
+        assert_eq!(c.bins.iter().map(|b| b.count).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn wdev_is_squared_so_smaller_than_ece_for_small_gaps() {
+        let preds: Vec<(f64, bool)> = (0..50)
+            .map(|i| (0.6, i < 25)) // predicted 0.6, observed 0.5
+            .collect();
+        let c = calibration_curve(&preds, Binning::EqualWidth(10));
+        assert!(approx(c.ece, 0.1));
+        assert!(approx(c.wdev, 0.01));
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_clamped() {
+        let preds = [(-0.5, false), (1.5, true)];
+        let c = calibration_curve(&preds, Binning::EqualWidth(4));
+        assert_eq!(c.bins[0].count, 1);
+        assert_eq!(c.bins[3].count, 1);
+    }
+}

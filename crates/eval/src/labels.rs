@@ -1,0 +1,188 @@
+//! Gold-labeling fused output under the local closed-world assumption.
+//!
+//! §5.1 of the paper: every fused triple is labelled against Freebase —
+//! **true** if present, **false** if the data item is known with different
+//! values, **unknown** (excluded) otherwise. All downstream metrics
+//! (calibration curves, PR curves) are computed over the labelled,
+//! predicted subset; the sizes of the excluded subsets are reported so a
+//! method cannot look better by predicting less.
+
+use kf_core::FusionOutput;
+use kf_types::{GoldStandard, Label, Triple};
+
+/// One fused triple with its gold label.
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledTriple {
+    /// The triple.
+    pub triple: Triple,
+    /// Fused truthfulness probability (`None` when the method abstained).
+    pub probability: Option<f64>,
+    /// LCWA gold label.
+    pub label: Label,
+    /// Whether the probability came from the mean-accuracy fallback.
+    pub fallback: bool,
+}
+
+/// A fusion output joined with the gold standard.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledOutput {
+    /// All fused triples with labels.
+    pub records: Vec<LabeledTriple>,
+    /// Labelled true.
+    pub n_true: usize,
+    /// Labelled false.
+    pub n_false: usize,
+    /// Unknown to the gold KB (excluded from metrics).
+    pub n_unknown: usize,
+    /// Labelled (true or false) but with no predicted probability.
+    pub n_unpredicted: usize,
+}
+
+impl LabeledOutput {
+    /// Join `output` with `gold`.
+    pub fn label(output: &FusionOutput, gold: &GoldStandard) -> LabeledOutput {
+        let mut out = LabeledOutput {
+            records: Vec::with_capacity(output.scored.len()),
+            ..Default::default()
+        };
+        for s in &output.scored {
+            let label = gold.label(&s.triple);
+            match label {
+                Label::True => out.n_true += 1,
+                Label::False => out.n_false += 1,
+                Label::Unknown => out.n_unknown += 1,
+            }
+            if label != Label::Unknown && s.probability.is_none() {
+                out.n_unpredicted += 1;
+            }
+            out.records.push(LabeledTriple {
+                triple: s.triple,
+                probability: s.probability,
+                label,
+                fallback: s.fallback,
+            });
+        }
+        out
+    }
+
+    /// The `(probability, is_true)` pairs metrics are computed over:
+    /// labelled triples that received a prediction.
+    pub fn predictions(&self) -> Vec<(f64, bool)> {
+        self.records
+            .iter()
+            .filter_map(|r| match (r.probability, r.label.as_bool()) {
+                (Some(p), Some(t)) => Some((p, t)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Labelled triples (true + false).
+    pub fn n_labelled(&self) -> usize {
+        self.n_true + self.n_false
+    }
+
+    /// Fraction of labelled triples that received a prediction — the
+    /// paper's coverage axis (91.8%–99.4% across refinement settings).
+    pub fn coverage(&self) -> f64 {
+        let n = self.n_labelled();
+        if n == 0 {
+            return 0.0;
+        }
+        (n - self.n_unpredicted) as f64 / n as f64
+    }
+
+    /// Base rate: fraction of labelled triples that are true (the paper's
+    /// ~30% headline extraction accuracy).
+    pub fn base_rate(&self) -> f64 {
+        let n = self.n_labelled();
+        if n == 0 {
+            return 0.0;
+        }
+        self.n_true as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_core::ScoredTriple;
+    use kf_mapreduce::{JobStats, RoundOutcome};
+    use kf_types::{DataItem, EntityId, PredicateId, Value};
+
+    fn triple(s: u32, o: u32) -> Triple {
+        Triple::new(EntityId(s), PredicateId(0), Value::Entity(EntityId(o)))
+    }
+
+    fn scored(s: u32, o: u32, p: Option<f64>) -> ScoredTriple {
+        ScoredTriple {
+            triple: triple(s, o),
+            probability: p,
+            n_provenances: 1,
+            n_extractors: 1,
+            n_pages: 1,
+            fallback: false,
+        }
+    }
+
+    fn output(scored_triples: Vec<ScoredTriple>) -> FusionOutput {
+        FusionOutput {
+            scored: scored_triples,
+            outcome: RoundOutcome::Converged {
+                rounds: 1,
+                delta: 0.0,
+            },
+            round_deltas: vec![],
+            n_provenances: 0,
+            stats: JobStats::default(),
+        }
+    }
+
+    fn gold() -> GoldStandard {
+        // Item (1, 0) accepts object 10 only.
+        let mut g = GoldStandard::new();
+        g.insert(
+            DataItem::new(EntityId(1), PredicateId(0)),
+            Value::Entity(EntityId(10)),
+        );
+        g
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let out = output(vec![
+            scored(1, 10, Some(0.9)), // true
+            scored(1, 11, Some(0.2)), // false
+            scored(2, 10, Some(0.5)), // unknown item
+            scored(1, 12, None),      // false, unpredicted
+        ]);
+        let l = LabeledOutput::label(&out, &gold());
+        assert_eq!(l.n_true, 1);
+        assert_eq!(l.n_false, 2);
+        assert_eq!(l.n_unknown, 1);
+        assert_eq!(l.n_unpredicted, 1);
+        assert_eq!(l.n_labelled(), 3);
+        assert!((l.coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((l.base_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_exclude_unknown_and_unpredicted() {
+        let out = output(vec![
+            scored(1, 10, Some(0.9)),
+            scored(2, 10, Some(0.5)),
+            scored(1, 12, None),
+        ]);
+        let preds = LabeledOutput::label(&out, &gold()).predictions();
+        assert_eq!(preds, vec![(0.9, true)]);
+    }
+
+    #[test]
+    fn empty_output_is_all_zeros() {
+        let l = LabeledOutput::label(&output(vec![]), &gold());
+        assert_eq!(l.n_labelled(), 0);
+        assert_eq!(l.coverage(), 0.0);
+        assert_eq!(l.base_rate(), 0.0);
+        assert!(l.predictions().is_empty());
+    }
+}

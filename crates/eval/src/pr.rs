@@ -1,0 +1,195 @@
+//! Ranking quality: precision–recall curves, AUC-PR, precision@k.
+//!
+//! §5 of the paper complements calibration with the PR trade-off
+//! (Figs. 10–15): sweep a probability threshold from high to low, accept
+//! every triple at or above it, and measure precision and recall against
+//! the LCWA labels. The curve is summarised by AUC-PR (trapezoidal) and by
+//! precision@k for operational cut-offs.
+
+/// One point of a PR curve.
+#[derive(Debug, Clone, Copy)]
+pub struct PrPoint {
+    /// The probability threshold this point corresponds to.
+    pub threshold: f64,
+    /// True positives at this threshold.
+    pub tp: usize,
+    /// False positives at this threshold.
+    pub fp: usize,
+    /// Precision `tp / (tp + fp)`.
+    pub precision: f64,
+    /// Recall `tp / n_true`.
+    pub recall: f64,
+}
+
+/// A full precision–recall curve.
+#[derive(Debug, Clone, Default)]
+pub struct PrCurve {
+    /// Points in decreasing-threshold order (one per distinct probability).
+    pub points: Vec<PrPoint>,
+    /// Area under the curve by trapezoidal integration over recall,
+    /// anchored at `(recall = 0, precision = precision of the top point)`.
+    pub auc: f64,
+}
+
+/// Sorted copy of `predictions`, descending by probability. Stable, so ties
+/// keep their input order and every derived metric is deterministic.
+pub(crate) fn sort_descending(predictions: &[(f64, bool)]) -> Vec<(f64, bool)> {
+    let mut sorted = predictions.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    sorted
+}
+
+/// Compute the PR curve over `(probability, is_true)` pairs.
+///
+/// Returns an empty curve when there are no pairs or no true pairs (recall
+/// is undefined without positives).
+pub fn pr_curve(predictions: &[(f64, bool)]) -> PrCurve {
+    pr_curve_sorted(&sort_descending(predictions))
+}
+
+/// [`pr_curve`] over pairs already sorted descending by probability —
+/// lets one sort serve every metric of an evaluation.
+pub(crate) fn pr_curve_sorted(sorted: &[(f64, bool)]) -> PrCurve {
+    let n_true = sorted.iter().filter(|&&(_, t)| t).count();
+    if n_true == 0 {
+        return PrCurve::default();
+    }
+
+    let mut points: Vec<PrPoint> = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    for (i, &(p, t)) in sorted.iter().enumerate() {
+        tp += t as usize;
+        fp += (!t) as usize;
+        // Emit one point per distinct threshold, after consuming all pairs
+        // tied at that probability.
+        let last_of_tie = i + 1 == sorted.len() || sorted[i + 1].0 < p;
+        if last_of_tie {
+            points.push(PrPoint {
+                threshold: p,
+                tp,
+                fp,
+                precision: tp as f64 / (tp + fp) as f64,
+                recall: tp as f64 / n_true as f64,
+            });
+        }
+    }
+
+    // Trapezoid over recall, anchored at recall 0 with the first point's
+    // precision.
+    let mut auc = 0.0;
+    let (mut prev_recall, mut prev_precision) = (0.0, points[0].precision);
+    for pt in &points {
+        auc += (pt.recall - prev_recall) * (pt.precision + prev_precision) / 2.0;
+        prev_recall = pt.recall;
+        prev_precision = pt.precision;
+    }
+    PrCurve { points, auc }
+}
+
+/// Precision among the `k` highest-probability predictions (`None` when
+/// there are fewer than `k`).
+pub fn precision_at_k(predictions: &[(f64, bool)], k: usize) -> Option<f64> {
+    precision_at_k_sorted(&sort_descending(predictions), k)
+}
+
+/// [`precision_at_k`] over pairs already sorted descending by probability.
+pub(crate) fn precision_at_k_sorted(sorted: &[(f64, bool)], k: usize) -> Option<f64> {
+    if k == 0 || sorted.len() < k {
+        return None;
+    }
+    let hits = sorted[..k].iter().filter(|&&(_, t)| t).count();
+    Some(hits as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    /// Hand-computed fixture: [(0.9, T), (0.8, F), (0.7, T), (0.6, F)].
+    ///
+    /// Thresholds 0.9, 0.8, 0.7, 0.6 give
+    /// (P, R) = (1, 1/2), (1/2, 1/2), (2/3, 1), (1/2, 1).
+    /// Anchored at (R=0, P=1):
+    /// AUC = ½·(1+1)/2 + 0 + ½·(½+⅔)/2 + 0 = 0.5 + 0.291666… = 0.791666…
+    #[test]
+    fn auc_matches_hand_computation() {
+        let preds = [(0.9, true), (0.8, false), (0.7, true), (0.6, false)];
+        let c = pr_curve(&preds);
+        assert_eq!(c.points.len(), 4);
+        assert!(approx(c.points[0].precision, 1.0));
+        assert!(approx(c.points[0].recall, 0.5));
+        assert!(approx(c.points[2].precision, 2.0 / 3.0));
+        assert!(approx(c.points[2].recall, 1.0));
+        let expected = 0.5 + 0.5 * (0.5 + 2.0 / 3.0) / 2.0;
+        assert!(approx(c.auc, expected), "auc {}", c.auc);
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let preds = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let c = pr_curve(&preds);
+        assert!(approx(c.auc, 1.0), "auc {}", c.auc);
+    }
+
+    #[test]
+    fn tied_probabilities_collapse_to_one_point() {
+        let preds = [(0.5, true), (0.5, false), (0.5, true)];
+        let c = pr_curve(&preds);
+        assert_eq!(c.points.len(), 1);
+        assert!(approx(c.points[0].precision, 2.0 / 3.0));
+        assert!(approx(c.points[0].recall, 1.0));
+        // Anchor precision = first point's precision ⇒ AUC = precision.
+        assert!(approx(c.auc, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn recall_is_monotone_nonincreasing_in_threshold() {
+        let preds: Vec<(f64, bool)> = (0..200)
+            .map(|i| ((i * 7 % 101) as f64 / 101.0, i % 3 == 0))
+            .collect();
+        let c = pr_curve(&preds);
+        for w in c.points.windows(2) {
+            assert!(w[0].threshold > w[1].threshold);
+            assert!(w[0].recall <= w[1].recall);
+        }
+        assert!(approx(c.points.last().unwrap().recall, 1.0));
+    }
+
+    #[test]
+    fn no_positives_gives_empty_curve() {
+        let c = pr_curve(&[(0.9, false), (0.5, false)]);
+        assert!(c.points.is_empty());
+        assert_eq!(c.auc, 0.0);
+        assert!(pr_curve(&[]).points.is_empty());
+    }
+
+    /// Hand-computed precision@k on a known ranking.
+    #[test]
+    fn precision_at_k_fixture() {
+        let preds = [
+            (0.95, true),
+            (0.9, true),
+            (0.85, false),
+            (0.8, true),
+            (0.2, false),
+        ];
+        assert!(approx(precision_at_k(&preds, 1).unwrap(), 1.0));
+        assert!(approx(precision_at_k(&preds, 2).unwrap(), 1.0));
+        assert!(approx(precision_at_k(&preds, 3).unwrap(), 2.0 / 3.0));
+        assert!(approx(precision_at_k(&preds, 4).unwrap(), 0.75));
+        assert!(approx(precision_at_k(&preds, 5).unwrap(), 0.6));
+        assert_eq!(precision_at_k(&preds, 6), None);
+        assert_eq!(precision_at_k(&preds, 0), None);
+    }
+
+    #[test]
+    fn precision_at_k_is_order_independent() {
+        let a = [(0.1, false), (0.9, true), (0.5, true)];
+        let b = [(0.9, true), (0.5, true), (0.1, false)];
+        assert_eq!(precision_at_k(&a, 2), precision_at_k(&b, 2));
+    }
+}

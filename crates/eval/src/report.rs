@@ -1,0 +1,366 @@
+//! Serializable evaluation reports.
+//!
+//! One fusion run produces a [`MethodEval`]; an ablation over the paper's
+//! five presets produces an [`EvalReport`]. Reports serialize to JSON (via
+//! the in-repo [`crate::json`] writer) so successive PRs can diff
+//! `report.json` and catch quality regressions, the same way `BENCH_*.json`
+//! files track performance.
+
+use crate::calibration::{CalibrationBin, CalibrationCurve};
+use crate::json::Json;
+use crate::labels::LabeledOutput;
+use crate::pr::PrCurve;
+
+/// Maximum PR points serialized per method; the full curve (one point per
+/// distinct probability) stays in memory, the report keeps an evenly
+/// strided subsample plus the final point.
+const MAX_PR_POINTS_IN_REPORT: usize = 200;
+
+/// The evaluation of one fusion method over one corpus.
+#[derive(Debug, Clone)]
+pub struct MethodEval {
+    /// Preset name (`vote`, `accu`, …).
+    pub name: String,
+    /// Display label as used in the paper (`VOTE`, `ACCU`, …).
+    pub label: String,
+    /// Triple counts and coverage from the gold join.
+    pub n_scored: usize,
+    /// Gold-labelled triples (true + false).
+    pub n_labelled: usize,
+    /// Labelled true.
+    pub n_true: usize,
+    /// Labelled but unpredicted.
+    pub n_unpredicted: usize,
+    /// Fraction of labelled triples with a prediction.
+    pub coverage: f64,
+    /// Fraction of *all* scored triples with a prediction.
+    pub predicted_fraction: f64,
+    /// Equal-width calibration curve (the paper's figures).
+    pub calibration_width: CalibrationCurve,
+    /// Equal-mass calibration curve.
+    pub calibration_mass: CalibrationCurve,
+    /// Precision–recall curve.
+    pub pr: PrCurve,
+    /// `(k, precision@k)` for the configured cut-offs (only cut-offs ≤ the
+    /// number of predictions appear).
+    pub precision_at: Vec<(usize, f64)>,
+    /// Wall-clock milliseconds spent fusing (excludes evaluation).
+    pub fuse_ms: f64,
+}
+
+impl MethodEval {
+    /// The paper's weighted deviation, from the equal-width curve.
+    pub fn wdev(&self) -> f64 {
+        self.calibration_width.wdev
+    }
+
+    /// Expected calibration error, from the equal-width curve.
+    pub fn ece(&self) -> f64 {
+        self.calibration_width.ece
+    }
+
+    /// AUC-PR.
+    pub fn auc_pr(&self) -> f64 {
+        self.pr.auc
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("label", Json::from(self.label.clone())),
+            ("n_scored", Json::from(self.n_scored)),
+            ("n_labelled", Json::from(self.n_labelled)),
+            ("n_true", Json::from(self.n_true)),
+            ("n_unpredicted", Json::from(self.n_unpredicted)),
+            ("coverage", Json::from(self.coverage)),
+            ("predicted_fraction", Json::from(self.predicted_fraction)),
+            ("wdev", Json::from(self.wdev())),
+            ("ece", Json::from(self.ece())),
+            ("auc_pr", Json::from(self.auc_pr())),
+            (
+                "precision_at",
+                Json::arr(self.precision_at.iter().map(|&(k, p)| {
+                    Json::obj([("k", Json::from(k)), ("precision", Json::from(p))])
+                })),
+            ),
+            (
+                "calibration_equal_width",
+                curve_to_json(&self.calibration_width),
+            ),
+            (
+                "calibration_equal_mass",
+                curve_to_json(&self.calibration_mass),
+            ),
+            ("pr_curve", pr_to_json(&self.pr)),
+            ("fuse_ms", Json::from(self.fuse_ms)),
+        ])
+    }
+}
+
+fn bin_to_json(b: &CalibrationBin) -> Json {
+    Json::obj([
+        ("lo", Json::from(b.lo)),
+        ("hi", Json::from(b.hi)),
+        ("count", Json::from(b.count)),
+        ("mean_predicted", Json::from(b.mean_predicted)),
+        // NaN (empty bin) serializes as null.
+        ("observed_accuracy", Json::from(b.observed_accuracy)),
+    ])
+}
+
+fn curve_to_json(c: &CalibrationCurve) -> Json {
+    Json::obj([
+        ("wdev", Json::from(c.wdev)),
+        ("ece", Json::from(c.ece)),
+        ("bins", Json::arr(c.bins.iter().map(bin_to_json))),
+    ])
+}
+
+fn pr_to_json(pr: &PrCurve) -> Json {
+    let n = pr.points.len();
+    let stride = n.div_ceil(MAX_PR_POINTS_IN_REPORT).max(1);
+    let points = pr
+        .points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i + 1 == n)
+        .map(|(_, p)| {
+            Json::obj([
+                ("threshold", Json::from(p.threshold)),
+                ("precision", Json::from(p.precision)),
+                ("recall", Json::from(p.recall)),
+            ])
+        });
+    Json::obj([
+        ("auc", Json::from(pr.auc)),
+        ("n_points", Json::from(n)),
+        ("points", Json::arr(points)),
+    ])
+}
+
+/// Corpus-level context recorded alongside the per-method results.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusSummary {
+    /// Scale preset name (`tiny`/`small`/`paper`/`large`).
+    pub scale: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Extraction records.
+    pub n_records: usize,
+    /// Unique triples.
+    pub n_unique_triples: usize,
+    /// Unique data items.
+    pub n_data_items: usize,
+    /// Gold-KB items.
+    pub n_gold_items: usize,
+    /// Raw extraction accuracy under LCWA (the paper's ~30%).
+    pub lcwa_accuracy: f64,
+}
+
+impl CorpusSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", Json::from(self.scale.clone())),
+            ("seed", Json::from(self.seed)),
+            ("n_records", Json::from(self.n_records)),
+            ("n_unique_triples", Json::from(self.n_unique_triples)),
+            ("n_data_items", Json::from(self.n_data_items)),
+            ("n_gold_items", Json::from(self.n_gold_items)),
+            ("lcwa_accuracy", Json::from(self.lcwa_accuracy)),
+        ])
+    }
+}
+
+/// A full ablation report: one corpus, several methods.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Corpus context.
+    pub corpus: CorpusSummary,
+    /// Per-method evaluations, in ablation order.
+    pub methods: Vec<MethodEval>,
+}
+
+impl EvalReport {
+    /// The evaluation for `name`, if present.
+    pub fn method(&self, name: &str) -> Option<&MethodEval> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(1usize)),
+            ("corpus", self.corpus.to_json()),
+            (
+                "methods",
+                Json::arr(self.methods.iter().map(|m| m.to_json())),
+            ),
+        ])
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Fixed-width summary table (one line per method) for terminal output.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
+            "method", "coverage", "pred", "WDEV", "ECE", "AUC-PR", "P@100", "fuse_ms"
+        ));
+        for m in &self.methods {
+            let p100 = m
+                .precision_at
+                .iter()
+                .find(|&&(k, _)| k == 100)
+                .map(|&(_, p)| format!("{p:8.3}"))
+                .unwrap_or_else(|| format!("{:>8}", "-"));
+            out.push_str(&format!(
+                "{:<22} {:>9.3} {:>9.3} {:>8.4} {:>8.4} {:>8.3} {} {:>9.1}\n",
+                m.label,
+                m.coverage,
+                m.predicted_fraction,
+                m.wdev(),
+                m.ece(),
+                m.auc_pr(),
+                p100,
+                m.fuse_ms,
+            ));
+        }
+        out
+    }
+}
+
+/// Assemble a [`MethodEval`] from a labelled output.
+pub fn evaluate_labeled(
+    name: &str,
+    label: &str,
+    labeled: &LabeledOutput,
+    predicted_fraction: f64,
+    n_bins: usize,
+    ks: &[usize],
+    fuse_ms: f64,
+) -> MethodEval {
+    use crate::calibration::{calibration_curve, Binning};
+    use crate::pr::{pr_curve_sorted, precision_at_k_sorted, sort_descending};
+
+    let preds = labeled.predictions();
+    // One descending sort serves the PR curve and every precision@k.
+    let sorted = sort_descending(&preds);
+    let precision_at = ks
+        .iter()
+        .filter_map(|&k| precision_at_k_sorted(&sorted, k).map(|p| (k, p)))
+        .collect();
+    MethodEval {
+        name: name.to_string(),
+        label: label.to_string(),
+        n_scored: labeled.records.len(),
+        n_labelled: labeled.n_labelled(),
+        n_true: labeled.n_true,
+        n_unpredicted: labeled.n_unpredicted,
+        coverage: labeled.coverage(),
+        predicted_fraction,
+        calibration_width: calibration_curve(&preds, Binning::EqualWidth(n_bins)),
+        calibration_mass: calibration_curve(&preds, Binning::EqualMass(n_bins)),
+        pr: pr_curve_sorted(&sorted),
+        precision_at,
+        fuse_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{calibration_curve, Binning};
+    use crate::pr::pr_curve;
+
+    fn method(name: &str, wdev_gap: f64) -> MethodEval {
+        // All predictions at 0.5 + gap with observed accuracy 0.5.
+        let preds: Vec<(f64, bool)> = (0..100).map(|i| (0.5 + wdev_gap, i % 2 == 0)).collect();
+        MethodEval {
+            name: name.to_string(),
+            label: name.to_uppercase(),
+            n_scored: 100,
+            n_labelled: 100,
+            n_true: 50,
+            n_unpredicted: 0,
+            coverage: 1.0,
+            predicted_fraction: 1.0,
+            calibration_width: calibration_curve(&preds, Binning::EqualWidth(10)),
+            calibration_mass: calibration_curve(&preds, Binning::EqualMass(10)),
+            pr: pr_curve(&preds),
+            precision_at: vec![(100, 0.5)],
+            fuse_ms: 1.0,
+        }
+    }
+
+    fn report() -> EvalReport {
+        EvalReport {
+            corpus: CorpusSummary {
+                scale: "tiny".into(),
+                seed: 42,
+                n_records: 1000,
+                n_unique_triples: 500,
+                n_data_items: 300,
+                n_gold_items: 120,
+                lcwa_accuracy: 0.3,
+            },
+            methods: vec![method("vote", 0.3), method("popaccu_plus", 0.05)],
+        }
+    }
+
+    #[test]
+    fn json_contains_required_fields() {
+        let s = report().to_json_string();
+        for field in [
+            "\"schema_version\"",
+            "\"corpus\"",
+            "\"methods\"",
+            "\"wdev\"",
+            "\"ece\"",
+            "\"auc_pr\"",
+            "\"coverage\"",
+            "\"calibration_equal_width\"",
+            "\"calibration_equal_mass\"",
+            "\"bins\"",
+            "\"observed_accuracy\"",
+            "\"pr_curve\"",
+            "\"precision_at\"",
+        ] {
+            assert!(s.contains(field), "missing {field} in report JSON");
+        }
+    }
+
+    #[test]
+    fn method_lookup_and_wdev_ordering() {
+        let r = report();
+        let vote = r.method("vote").unwrap();
+        let plus = r.method("popaccu_plus").unwrap();
+        assert!(plus.wdev() < vote.wdev());
+        assert!(r.method("nope").is_none());
+    }
+
+    #[test]
+    fn summary_table_has_one_line_per_method() {
+        let r = report();
+        let table = r.summary_table();
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("VOTE"));
+        assert!(table.contains("POPACCU_PLUS"));
+    }
+
+    #[test]
+    fn pr_points_are_capped_in_json() {
+        let preds: Vec<(f64, bool)> = (0..5000).map(|i| (i as f64 / 5000.0, i % 2 == 0)).collect();
+        let pr = pr_curve(&preds);
+        assert!(pr.points.len() > MAX_PR_POINTS_IN_REPORT);
+        let json = pr_to_json(&pr).to_string_compact();
+        let n_points = json.matches("\"threshold\"").count();
+        assert!(
+            n_points <= MAX_PR_POINTS_IN_REPORT + 1,
+            "serialized {n_points} points"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the evaluation metrics: structural invariants
+//! that must hold for any prediction set.
+
+use kf_eval::{calibration_curve, pr_curve, precision_at_k, Binning};
+use proptest::prelude::*;
+
+fn arb_predictions() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec(
+        (
+            (0u32..=1_000).prop_map(|p| p as f64 / 1_000.0),
+            any::<bool>(),
+        ),
+        0..300,
+    )
+}
+
+proptest! {
+    /// Equal-width calibration bins partition [0, 1]: first edge 0, last
+    /// edge 1, contiguous in between, and every prediction lands in
+    /// exactly one bin.
+    #[test]
+    fn equal_width_bins_partition_unit_interval(
+        preds in arb_predictions(),
+        n in 1usize..30,
+    ) {
+        let c = calibration_curve(&preds, Binning::EqualWidth(n));
+        prop_assert_eq!(c.bins.len(), n);
+        prop_assert!(c.bins[0].lo.abs() < 1e-12);
+        prop_assert!((c.bins[n - 1].hi - 1.0).abs() < 1e-12);
+        for w in c.bins.windows(2) {
+            prop_assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+            prop_assert!(w[0].lo < w[0].hi);
+        }
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, preds.len());
+    }
+
+    /// Equal-mass bins also partition [0, 1], conserve mass, and have
+    /// near-equal counts (differing by at most one).
+    #[test]
+    fn equal_mass_bins_partition_and_balance(
+        preds in arb_predictions(),
+        n in 1usize..30,
+    ) {
+        let c = calibration_curve(&preds, Binning::EqualMass(n));
+        prop_assert!(c.bins[0].lo.abs() < 1e-12);
+        prop_assert!((c.bins.last().unwrap().hi - 1.0).abs() < 1e-12);
+        for w in c.bins.windows(2) {
+            prop_assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, preds.len());
+        if !preds.is_empty() {
+            let min = c.bins.iter().map(|b| b.count).min().unwrap();
+            let max = c.bins.iter().map(|b| b.count).max().unwrap();
+            prop_assert!(max - min <= 1, "counts spread {min}..{max}");
+        }
+    }
+
+    /// Calibration summaries are bounded: 0 ≤ WDEV ≤ ECE ≤ 1 (a squared
+    /// gap never exceeds the absolute gap for gaps in [0, 1]).
+    #[test]
+    fn calibration_summaries_are_bounded(preds in arb_predictions(), n in 1usize..20) {
+        for binning in [Binning::EqualWidth(n), Binning::EqualMass(n)] {
+            let c = calibration_curve(&preds, binning);
+            prop_assert!(c.wdev >= 0.0 && c.wdev.is_finite());
+            prop_assert!(c.ece >= 0.0 && c.ece <= 1.0 + 1e-12);
+            prop_assert!(c.wdev <= c.ece + 1e-12, "wdev {} > ece {}", c.wdev, c.ece);
+        }
+    }
+
+    /// PR points are monotone in threshold: thresholds strictly decrease,
+    /// recall never decreases, and tp/fp counts never decrease.
+    #[test]
+    fn pr_points_are_monotone_in_threshold(preds in arb_predictions()) {
+        let c = pr_curve(&preds);
+        for w in c.points.windows(2) {
+            prop_assert!(w[0].threshold > w[1].threshold);
+            prop_assert!(w[0].recall <= w[1].recall + 1e-12);
+            prop_assert!(w[0].tp <= w[1].tp);
+            prop_assert!(w[0].fp <= w[1].fp);
+        }
+        if let Some(last) = c.points.last() {
+            // The lowest threshold accepts everything: recall = 1.
+            prop_assert!((last.recall - 1.0).abs() < 1e-12);
+        }
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c.auc), "auc {}", c.auc);
+    }
+
+    /// Precision and recall at every point are valid probabilities, and
+    /// precision equals tp/(tp+fp) exactly.
+    #[test]
+    fn pr_point_arithmetic_is_consistent(preds in arb_predictions()) {
+        let c = pr_curve(&preds);
+        let n_true = preds.iter().filter(|&&(_, t)| t).count();
+        for p in &c.points {
+            prop_assert!((0.0..=1.0).contains(&p.precision));
+            prop_assert!((0.0..=1.0).contains(&p.recall));
+            prop_assert!((p.precision - p.tp as f64 / (p.tp + p.fp) as f64).abs() < 1e-12);
+            prop_assert!((p.recall - p.tp as f64 / n_true as f64).abs() < 1e-12);
+        }
+    }
+
+    /// precision@k is defined iff k ∈ [1, n], and shrinking k toward the
+    /// top of a sorted-by-confidence list can only use fewer predictions.
+    #[test]
+    fn precision_at_k_definedness(preds in arb_predictions(), k in 1usize..400) {
+        let p = precision_at_k(&preds, k);
+        prop_assert_eq!(p.is_some(), k <= preds.len());
+        if let Some(p) = p {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -81,12 +81,7 @@ impl<K: Hash, V> Emitter<K, V> {
 ///
 /// Output records are returned grouped by partition and sorted by key within
 /// each partition, so the overall output is deterministic.
-pub fn map_reduce<I, K, V, O, M, R>(
-    cfg: &MrConfig,
-    inputs: &[I],
-    mapper: M,
-    reducer: R,
-) -> Vec<O>
+pub fn map_reduce<I, K, V, O, M, R>(cfg: &MrConfig, inputs: &[I], mapper: M, reducer: R) -> Vec<O>
 where
     I: Sync,
     K: Hash + Eq + Ord + Send,
@@ -161,9 +156,10 @@ where
     // Partition data sits in Mutex<Option<..>> slots so exactly one worker
     // takes each partition; contention is one lock acquisition per
     // partition, not per record.
-    let partition_slots: Vec<parking_lot::Mutex<Option<Vec<(K, V)>>>> = partition_records
+    type PartitionSlot<K, V> = std::sync::Mutex<Option<Vec<(K, V)>>>;
+    let partition_slots: Vec<PartitionSlot<K, V>> = partition_records
         .into_iter()
-        .map(|records| parking_lot::Mutex::new(Some(records)))
+        .map(|records| std::sync::Mutex::new(Some(records)))
         .collect();
 
     let mut results: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(partitions);
@@ -180,7 +176,11 @@ where
                         if p >= slots.len() {
                             break;
                         }
-                        let records = slots[p].lock().take().expect("partition taken twice");
+                        let records = slots[p]
+                            .lock()
+                            .expect("partition lock poisoned")
+                            .take()
+                            .expect("partition taken twice");
                         let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
                         for (k, v) in records {
                             groups.entry(k).or_default().push(v);

@@ -42,7 +42,12 @@ impl Default for WorldConfig {
         WorldConfig {
             n_types: 12,
             n_predicates: 64,
-            n_entities: 6_000,
+            // Sparse-tail regime: most data items are claimed on one or two
+            // pages, so a large share of unique triples are singletons —
+            // the paper's reality (1.6B unique triples, most with tiny
+            // support) and the precondition for its Fig. 9 ordering, where
+            // VOTE's P = 1 singletons make it the worst-calibrated method.
+            n_entities: 30_000,
             functional_fraction: 0.28,
             entity_zipf_exponent: 1.05,
             mean_truths_nonfunctional: 1.7,
@@ -119,7 +124,7 @@ impl Default for WebConfig {
             n_sites: 500,
             n_pages: 24_000,
             site_zipf_exponent: 1.2,
-            mean_claims_per_page: 7.0,
+            mean_claims_per_page: 5.0,
             max_claims_per_page: 600,
             source_error_rate: 0.03,
             copied_error_rate: 0.5,
@@ -179,7 +184,7 @@ impl SynthConfig {
     }
 
     /// The default experiment scale used by the `repro` harness
-    /// (~10⁶ extraction records).
+    /// (~2.5×10⁵ extraction records).
     pub fn paper() -> Self {
         SynthConfig::default()
     }
@@ -190,7 +195,7 @@ impl SynthConfig {
             world: WorldConfig {
                 n_types: 16,
                 n_predicates: 96,
-                n_entities: 20_000,
+                n_entities: 80_000,
                 ..Default::default()
             },
             gold: GoldConfig::default(),

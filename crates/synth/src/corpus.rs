@@ -5,9 +5,7 @@ use crate::extractor::{default_extractors, ExtractionOutcome, ExtractorSpec};
 use crate::freebase::build_gold;
 use crate::web::{ContentType, Web};
 use crate::world::World;
-use kf_types::{
-    hash, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance,
-};
+use kf_types::{hash, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,8 +72,7 @@ impl Corpus {
                     continue;
                 }
                 for claim in &page.claims {
-                    let Some(sim) = spec.extract(ex_id, &world, claim, page.site, &mut rng)
-                    else {
+                    let Some(sim) = spec.extract(ex_id, &world, claim, page.site, &mut rng) else {
                         continue;
                     };
                     let prov = Provenance::new(ex_id, page.id, page.site, sim.pattern);
@@ -149,7 +146,10 @@ mod tests {
         assert!(c.batch.len() > 10_000, "only {} records", c.batch.len());
         assert_eq!(c.sections.len(), c.batch.len());
         assert_eq!(c.outcomes.len(), c.batch.len());
-        assert!(c.batch.unique_triples() < c.batch.len(), "no duplicate extraction at all");
+        assert!(
+            c.batch.unique_triples() < c.batch.len(),
+            "no duplicate extraction at all"
+        );
     }
 
     #[test]
@@ -251,6 +251,9 @@ mod tests {
         let specs = vec![default_extractors().remove(4)]; // DOM1
         let c = Corpus::generate_with_extractors(&SynthConfig::tiny(), specs, 3);
         assert!(!c.batch.is_empty());
-        assert!(c.batch.iter().all(|e| e.provenance.extractor == ExtractorId(0)));
+        assert!(c
+            .batch
+            .iter()
+            .all(|e| e.provenance.extractor == ExtractorId(0)));
     }
 }

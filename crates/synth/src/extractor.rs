@@ -644,8 +644,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "TXT1", "TXT2", "TXT3", "TXT4", "DOM1", "DOM2", "DOM3", "DOM4", "DOM5",
-                "TBL1", "TBL2", "ANO"
+                "TXT1", "TXT2", "TXT3", "TXT4", "DOM1", "DOM2", "DOM3", "DOM4", "DOM5", "TBL1",
+                "TBL2", "ANO"
             ]
         );
     }
@@ -653,12 +653,18 @@ mod tests {
     #[test]
     fn section_mix_matches_table2() {
         let specs = default_extractors();
-        let txt = specs.iter().filter(|s| s.sections.contains(&ContentType::Txt)).count();
+        let txt = specs
+            .iter()
+            .filter(|s| s.sections.contains(&ContentType::Txt))
+            .count();
         let tbl_only = specs
             .iter()
             .filter(|s| s.sections == vec![ContentType::Tbl])
             .count();
-        let ano = specs.iter().filter(|s| s.sections.contains(&ContentType::Ano)).count();
+        let ano = specs
+            .iter()
+            .filter(|s| s.sections.contains(&ContentType::Ano))
+            .count();
         assert_eq!(txt, 4);
         assert_eq!(tbl_only, 2);
         assert_eq!(ano, 1);
@@ -710,7 +716,10 @@ mod tests {
             assert_eq!(out.outcome, ExtractionOutcome::SystematicError);
             outs.push(out.triple);
         }
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "cell not deterministic");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "cell not deterministic"
+        );
     }
 
     #[test]
@@ -865,9 +874,10 @@ mod tests {
         let (world, _, _) = setup();
         // Build a claim whose value is a hierarchy leaf.
         let Some((item, leaf)) = world.items().iter().find_map(|item| {
-            world.truths(item).iter().find_map(|&v| {
-                kf_types::ValueHierarchy::parent(&world, v).map(|_| (*item, v))
-            })
+            world
+                .truths(item)
+                .iter()
+                .find_map(|&v| kf_types::ValueHierarchy::parent(&world, v).map(|_| (*item, v)))
         }) else {
             return; // no hierarchy-valued items in this tiny world
         };
@@ -903,8 +913,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(10);
         for page in web.pages.iter().take(200) {
             for claim in &page.claims {
-                if let Some(out) =
-                    spec.extract(ExtractorId(4), &world, claim, page.site, &mut rng)
+                if let Some(out) = spec.extract(ExtractorId(4), &world, claim, page.site, &mut rng)
                 {
                     match out.outcome {
                         ExtractionOutcome::Faithful | ExtractionOutcome::Generalized => {

@@ -77,7 +77,7 @@ pub fn sample_gold(gold: &GoldStandard, rate: f64, seed: u64) -> GoldStandard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{GoldConfig, SynthConfig};
+    use crate::config::SynthConfig;
     use kf_types::{Label, Triple};
 
     fn setup() -> (World, GoldStandard) {
@@ -112,9 +112,7 @@ mod tests {
         for (item, values) in gold.iter() {
             for &v in values {
                 total += 1;
-                if world
-                    .is_true_up_to_hierarchy(&Triple::new(item.subject, item.predicate, v))
-                {
+                if world.is_true_up_to_hierarchy(&Triple::new(item.subject, item.predicate, v)) {
                     correct += 1;
                 }
             }

@@ -33,8 +33,7 @@ pub mod world;
 pub use config::{GoldConfig, SynthConfig, WebConfig, WorldConfig};
 pub use corpus::Corpus;
 pub use extractor::{
-    default_extractors, ConfidenceModel, ErrorProfile, ExtractionOutcome, ExtractorSpec,
-    SiteFilter,
+    default_extractors, ConfidenceModel, ErrorProfile, ExtractionOutcome, ExtractorSpec, SiteFilter,
 };
 pub use freebase::{build_gold, sample_gold};
 pub use web::{Claim, ContentType, Page, SiteClass, Web};

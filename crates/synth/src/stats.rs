@@ -1,9 +1,7 @@
 //! Corpus statistics: the data behind Tables 1–3 and Fig. 3.
 
 use crate::corpus::Corpus;
-use kf_types::{
-    DataItem, FxHashMap, FxHashSet, Label, SkewSummary, Triple, Value,
-};
+use kf_types::{DataItem, FxHashMap, FxHashSet, Label, SkewSummary, Triple, Value};
 
 /// Table 1: corpus overview counts and skew summaries.
 #[derive(Debug, Clone)]
@@ -137,8 +135,7 @@ pub fn overview(corpus: &Corpus) -> OverviewStats {
         novel_fraction: novel as f64 / triples.len().max(1) as f64,
         triples_per_type: SkewSummary::from_counts(&counts(&by_type)).expect("non-empty"),
         triples_per_entity: SkewSummary::from_counts(&counts(&by_entity)).expect("non-empty"),
-        triples_per_predicate: SkewSummary::from_counts(&counts(&by_predicate))
-            .expect("non-empty"),
+        triples_per_predicate: SkewSummary::from_counts(&counts(&by_predicate)).expect("non-empty"),
         triples_per_item: SkewSummary::from_counts(&item_counts).expect("non-empty"),
         predicates_per_entity: SkewSummary::from_counts(&pred_counts).expect("non-empty"),
     }
@@ -321,7 +318,11 @@ mod tests {
         // Paper: 83% of extracted triples are not in Freebase.
         let c = corpus();
         let s = overview(&c);
-        assert!(s.novel_fraction > 0.6, "novel fraction {}", s.novel_fraction);
+        assert!(
+            s.novel_fraction > 0.6,
+            "novel fraction {}",
+            s.novel_fraction
+        );
     }
 
     #[test]

@@ -291,7 +291,7 @@ fn wrong_value(world: &World, item: DataItem, rng: &mut SmallRng) -> Value {
                 _ => world.noise_value(rng.gen::<u64>()),
             },
             Value::Num(n) => Value::Num(kf_types::Numeric(
-                n.0 + rng.gen_range(1..=5) * 1000 * if rng.gen_bool(0.5) { 1 } else { -1 },
+                n.0 + rng.gen_range(1..=5i64) * 1000 * if rng.gen_bool(0.5) { 1 } else { -1 },
             )),
             Value::Str(_) => world.noise_value(rng.gen::<u64>()),
         };
@@ -403,7 +403,10 @@ mod tests {
         }
         let max = per_site.values().copied().max().unwrap();
         let mean = web.pages.len() as f64 / per_site.len() as f64;
-        assert!(max as f64 > 3.0 * mean, "no head sites: max={max} mean={mean}");
+        assert!(
+            max as f64 > 3.0 * mean,
+            "no head sites: max={max} mean={mean}"
+        );
     }
 
     #[test]

@@ -51,9 +51,22 @@ impl World {
 
         // ---- Types -------------------------------------------------------
         let type_names = [
-            "location", "organization", "business", "people/person", "film/film", "music/album",
-            "book/book", "sports/team", "biology/species", "education/school", "tv/program",
-            "geography/river", "award/award", "computer/software", "food/dish", "event/event",
+            "location",
+            "organization",
+            "business",
+            "people/person",
+            "film/film",
+            "music/album",
+            "book/book",
+            "sports/team",
+            "biology/species",
+            "education/school",
+            "tv/program",
+            "geography/river",
+            "award/award",
+            "computer/software",
+            "food/dish",
+            "event/event",
         ];
         let n_types = cfg.n_types.max(2);
         let mut type_ids = Vec::with_capacity(n_types);
@@ -99,12 +112,17 @@ impl World {
         // ---- Ordinary entities --------------------------------------------
         // Zipf-skewed type sizes: a few huge types (location, organization,
         // business per the paper), a long tail of small ones.
-        let n_ordinary = cfg.n_entities.saturating_sub(hierarchy_entities.len()).max(n_types);
+        let n_ordinary = cfg
+            .n_entities
+            .saturating_sub(hierarchy_entities.len())
+            .max(n_types);
         let mut entities_by_type: Vec<Vec<EntityId>> = vec![Vec::new(); n_types];
         entities_by_type[0] = hierarchy_entities.clone();
         {
             // Weight type t by 1/(t+1)^1.1, skipping the location type.
-            let weights: Vec<f64> = (0..n_types).map(|t| 1.0 / (t as f64 + 1.0).powf(1.1)).collect();
+            let weights: Vec<f64> = (0..n_types)
+                .map(|t| 1.0 / (t as f64 + 1.0).powf(1.1))
+                .collect();
             let total: f64 = weights[1..].iter().sum();
             for t in 1..n_types {
                 let share = ((weights[t] / total) * n_ordinary as f64).ceil() as usize;
@@ -223,9 +241,7 @@ impl World {
                             }
                             ValueKind::Str => {
                                 str_counter += 1;
-                                Value::Str(
-                                    catalog.strings.intern(&format!("strval_{str_counter}")),
-                                )
+                                Value::Str(catalog.strings.intern(&format!("strval_{str_counter}")))
                             }
                             ValueKind::Num => {
                                 Value::Num(Numeric::from_i64(rng.gen_range(1800..2_100)))
@@ -246,9 +262,7 @@ impl World {
         // Junk strings and numbers for triple-identification errors.
         let mut noise_values = Vec::with_capacity(2_048);
         for i in 0..1_536 {
-            noise_values.push(Value::Str(
-                catalog.strings.intern(&format!("noise_{i}")),
-            ));
+            noise_values.push(Value::Str(catalog.strings.intern(&format!("noise_{i}"))));
         }
         for i in 0..512 {
             noise_values.push(Value::Num(Numeric::from_i64(100_000 + i)));
@@ -461,9 +475,9 @@ mod tests {
         let w = world();
         // Find an item whose truth is a hierarchy leaf with a parent.
         let found = w.items().iter().find_map(|item| {
-            w.truths(item).iter().find_map(|&v| {
-                w.parent(v).map(|parent| (*item, v, parent))
-            })
+            w.truths(item)
+                .iter()
+                .find_map(|&v| w.parent(v).map(|parent| (*item, v, parent)))
         });
         if let Some((item, leaf, parent)) = found {
             let general = Triple::new(item.subject, item.predicate, parent);
@@ -489,18 +503,10 @@ mod tests {
     #[test]
     fn nonfunctional_items_sometimes_have_multiple_truths() {
         let w = world();
-        let multi = w
-            .items()
-            .iter()
-            .filter(|i| w.truths(i).len() > 1)
-            .count();
+        let multi = w.items().iter().filter(|i| w.truths(i).len() > 1).count();
         assert!(multi > 0, "no multi-truth items generated");
         // But most items still have few truths (paper Fig. 20).
-        let many = w
-            .items()
-            .iter()
-            .filter(|i| w.truths(i).len() > 4)
-            .count();
+        let many = w.items().iter().filter(|i| w.truths(i).len() > 4).count();
         assert!((many as f64) < 0.1 * w.n_items() as f64);
     }
 }

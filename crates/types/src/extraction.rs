@@ -170,10 +170,7 @@ mod tests {
         let t = ex(1, 1, 1, 1).triple;
         let p = ex(1, 1, 1, 1).provenance;
         assert_eq!(Extraction::new(t, p).confidence, None);
-        assert_eq!(
-            Extraction::with_confidence(t, p, 0.7).confidence,
-            Some(0.7)
-        );
+        assert_eq!(Extraction::with_confidence(t, p, 0.7).confidence, Some(0.7));
     }
 
     #[test]

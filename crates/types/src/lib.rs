@@ -28,9 +28,7 @@ pub mod value;
 pub use extraction::{Extraction, ExtractionBatch};
 pub use gold::{GoldStandard, Label};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use ids::{
-    EntityId, ExtractorId, PageId, PatternId, PredicateId, SiteId, StrId, TypeId,
-};
+pub use ids::{EntityId, ExtractorId, PageId, PatternId, PredicateId, SiteId, StrId, TypeId};
 pub use intern::Interner;
 pub use provenance::{Granularity, Provenance, ProvenanceKey};
 pub use schema::{Catalog, EntityInfo, PredicateInfo, ValueKind};

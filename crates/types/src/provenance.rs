@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is the "rich provenance information" of §3.1.1 — much richer than
 /// the bare source identity used in data fusion.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Provenance {
     /// The extractor that produced the triple.
     pub extractor: ExtractorId,
@@ -34,12 +32,7 @@ pub struct Provenance {
 
 impl Provenance {
     /// Construct a provenance record.
-    pub fn new(
-        extractor: ExtractorId,
-        page: PageId,
-        site: SiteId,
-        pattern: PatternId,
-    ) -> Self {
+    pub fn new(extractor: ExtractorId, page: PageId, site: SiteId, pattern: PatternId) -> Self {
         Provenance {
             extractor,
             page,
@@ -50,9 +43,7 @@ impl Provenance {
 }
 
 /// The granularity at which provenance accuracy is evaluated (§4.3.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Granularity {
     /// *(Extractor, URL)* — the basic adaptation of §4.1.
     #[default]
@@ -86,9 +77,7 @@ impl Granularity {
             Granularity::ExtractorPage => "(Extractor, URL)",
             Granularity::ExtractorSite => "(Extractor, Site)",
             Granularity::ExtractorSitePredicate => "(Extractor, Site, Predicate)",
-            Granularity::ExtractorSitePredicatePattern => {
-                "(Extractor, Site, Predicate, Pattern)"
-            }
+            Granularity::ExtractorSitePredicatePattern => "(Extractor, Site, Predicate, Pattern)",
             Granularity::ExtractorPatternOnly => "Only extractor (pattern)",
             Granularity::PageOnly => "Only source (URL)",
         }
@@ -98,9 +87,7 @@ impl Granularity {
 /// A provenance projected onto a [`Granularity`]: the unit whose accuracy
 /// the fusion algorithms estimate. Fields not included in the granularity
 /// are `None`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProvenanceKey {
     /// Extractor dimension, when included.
     pub extractor: Option<ExtractorId>,
@@ -203,8 +190,7 @@ mod tests {
 
     #[test]
     fn extractor_pattern_only_drops_the_source() {
-        let k =
-            ProvenanceKey::at(Granularity::ExtractorPatternOnly, &prov(), PredicateId(5));
+        let k = ProvenanceKey::at(Granularity::ExtractorPatternOnly, &prov(), PredicateId(5));
         assert_eq!(k.extractor, Some(ExtractorId(3)));
         assert_eq!(k.pattern, Some(PatternId(42)));
         assert_eq!(k.page, None);

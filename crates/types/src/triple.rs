@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// A *data item* in data-fusion terms: a `(subject, predicate)` pair
 /// describing one aspect of an entity — e.g. *(Tom Cruise, birth date)*.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DataItem {
     /// Subject entity.
     pub subject: EntityId,
@@ -32,9 +30,7 @@ impl DataItem {
 
 /// An RDF-style knowledge triple `(subject, predicate, object)` —
 /// e.g. *(Tom Cruise, birth date, 7/3/1962)*.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Triple {
     /// Subject entity.
     pub subject: EntityId,

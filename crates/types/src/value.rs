@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 /// as categorical, §5.4), so exact equality semantics matter more than
 /// floating-point range. Milli-precision covers dates-as-years, heights,
 /// populations and the like.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Numeric(pub i64);
 
@@ -44,9 +42,7 @@ impl Numeric {
 }
 
 /// The object slot of a triple.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// A reconciled KB entity.
     Entity(EntityId),
@@ -88,7 +84,8 @@ impl Value {
     #[inline]
     pub fn encode(self) -> u64 {
         match self {
-            Value::Entity(e) => (0u64 << 62) | e.0 as u64,
+            // Variant tag in the top two bits (Entity's tag is 0).
+            Value::Entity(e) => e.0 as u64,
             Value::Str(s) => (1u64 << 62) | s.0 as u64,
             Value::Num(n) => (2u64 << 62) | (n.0 as u64 & ((1u64 << 62) - 1)),
         }

@@ -17,9 +17,9 @@ fn arb_triple() -> impl Strategy<Value = Triple> {
 }
 
 fn arb_provenance() -> impl Strategy<Value = Provenance> {
-    ((0u16..12), (0u32..100_000), (0u32..1_000), (0u32..5_000)).prop_map(
-        |(e, pg, st, pat)| Provenance::new(ExtractorId(e), PageId(pg), SiteId(st), PatternId(pat)),
-    )
+    ((0u16..12), (0u32..100_000), (0u32..1_000), (0u32..5_000)).prop_map(|(e, pg, st, pat)| {
+        Provenance::new(ExtractorId(e), PageId(pg), SiteId(st), PatternId(pat))
+    })
 }
 
 proptest! {

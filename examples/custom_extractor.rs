@@ -1,1 +1,85 @@
-fn main() {}
+//! Plug a user-defined extractor into the corpus generator: a high-recall,
+//! low-precision "sloppy" scraper next to a precise Wikipedia-only one, then
+//! measure how fusion treats their provenances.
+//!
+//! ```text
+//! cargo run --release --example custom_extractor
+//! ```
+
+use kf::prelude::*;
+use kf::synth::{ConfidenceModel, ErrorProfile, ExtractorSpec, SiteFilter};
+
+fn main() {
+    use kf::synth::ContentType::*;
+
+    let extractors = vec![
+        ExtractorSpec {
+            name: "SLOPPY".into(),
+            sections: vec![Txt, Dom],
+            site_filter: SiteFilter::All,
+            page_coverage: 0.9,
+            recall: 0.85,
+            n_patterns: 500,
+            base_error: 0.7,
+            pattern_spread: 2.0,
+            profile: ErrorProfile::paper_mix(),
+            systematic_rate: 0.05,
+            generalize_rate: 0.02,
+            confidence: ConfidenceModel::BimodalUninformative,
+            linkage_group: 0,
+        },
+        ExtractorSpec {
+            name: "PRECISE".into(),
+            sections: vec![Dom, Tbl],
+            site_filter: SiteFilter::WikipediaOnly,
+            page_coverage: 0.95,
+            recall: 0.6,
+            n_patterns: 40,
+            base_error: 0.08,
+            pattern_spread: 1.2,
+            profile: ErrorProfile::paper_mix(),
+            systematic_rate: 0.002,
+            generalize_rate: 0.01,
+            confidence: ConfidenceModel::BimodalCalibrated,
+            linkage_group: 1,
+        },
+    ];
+
+    let corpus = Corpus::generate_with_extractors(&SynthConfig::small(), extractors, 7);
+    println!(
+        "corpus with custom extractors: {} records, {} unique triples",
+        corpus.batch.len(),
+        corpus.batch.unique_triples()
+    );
+
+    // Per-extractor raw accuracy under LCWA.
+    for (i, spec) in corpus.extractors.iter().enumerate() {
+        let (mut labelled, mut correct, mut total) = (0usize, 0usize, 0usize);
+        for e in corpus.batch.iter() {
+            if e.provenance.extractor.index() != i {
+                continue;
+            }
+            total += 1;
+            if let Some(ok) = corpus.gold.label(&e.triple).as_bool() {
+                labelled += 1;
+                correct += ok as usize;
+            }
+        }
+        println!(
+            "{:>8}: {:>7} extractions, LCWA accuracy {:.2}",
+            spec.name,
+            total,
+            correct as f64 / labelled.max(1) as f64
+        );
+    }
+
+    // Fusion should discover the quality difference without supervision.
+    let output = Fuser::new(FusionConfig::popaccu()).run(&corpus.batch, None);
+    let eval = AblationRunner::default().evaluate(Preset::PopAccu, &output, &corpus.gold, 0.0);
+    println!(
+        "\nPOPACCU over the custom corpus: WDEV {:.4}, AUC-PR {:.3}, coverage {:.1}%",
+        eval.wdev(),
+        eval.auc_pr(),
+        100.0 * eval.coverage
+    );
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` /
+//! [`Criterion::bench_function`] / [`Bencher::iter`] surface so the
+//! workspace's `benches/` compile and produce wall-clock numbers without
+//! the real crate. Methodology is intentionally simple: per benchmark, a
+//! calibration pass sizes the iteration count to a fixed time budget, then
+//! a set of timed samples reports min / mean / max per-iteration time.
+//! Numbers are comparable within a machine, not across the statistical
+//! machinery of real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget. Keeps `cargo bench` interactive: each benchmark
+/// costs roughly `SAMPLES × BUDGET` plus calibration.
+const BUDGET: Duration = Duration::from_millis(60);
+const SAMPLES: usize = 10;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: find an iteration count that fills the budget.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            f(&mut b);
+            if b.elapsed >= BUDGET || b.iters >= 1 << 30 {
+                break;
+            }
+            let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            let target = (BUDGET.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+            b.iters = target.clamp(b.iters + 1, b.iters.saturating_mul(100));
+        }
+        let iters = b.iters;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[SAMPLES - 1];
+        let mean = per_iter_ns.iter().sum::<f64>() / SAMPLES as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]  ({iters} iters/sample)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

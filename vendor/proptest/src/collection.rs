@@ -1,0 +1,31 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len_range)` — vectors of `element` with
+/// length in `size` (half-open, like proptest's `Range` size bound).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`/`boxed`,
+//! range / tuple / [`strategy::Just`] / regex-string strategies,
+//! [`collection::vec`], `any::<T>()`, and the `proptest!` / `prop_oneof!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from the real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the assert
+//!   message but is not minimised.
+//! * **Fixed case count** — every property runs [`CASES`] deterministic
+//!   cases seeded from the test's name, so failures reproduce exactly.
+//! * **Regex strategies** are limited to the `[class]{m,n}`-style patterns
+//!   used here (see [`strategy::pattern_string`]).
+
+pub mod collection;
+pub mod strategy;
+
+/// Number of random cases each `proptest!` property executes.
+pub const CASES: usize = 100;
+
+/// Deterministic per-test RNG: seeded from the test's name so every test
+/// draws an independent, reproducible stream.
+pub fn test_rng(name: &str) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(h)
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Each property runs [`CASES`](crate::CASES)
+/// deterministic cases drawn from its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample() {
+        let mut rng = crate::test_rng("ranges_tuples_and_maps_sample");
+        let s = ((0u32..10), (5i64..=6), 0.0f64..1.0).prop_map(|(a, b, c)| (a, b, c));
+        for _ in 0..200 {
+            let (a, b, c) = s.sample(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::test_rng("oneof_hits_every_arm");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::test_rng("vec_strategy_respects_length_range");
+        let s = prop::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut rng = crate::test_rng("string_pattern_strategy");
+        let s = "[a-c]{1,3}";
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((1..=3).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    proptest! {
+        /// The macro itself: bindings, multiple args, trailing comma.
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in any::<u16>(),) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a + 1, a);
+        }
+    }
+}

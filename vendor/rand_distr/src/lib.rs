@@ -1,0 +1,114 @@
+//! Offline stand-in for the `rand_distr` crate: only the [`Poisson`]
+//! distribution the workspace uses. See `vendor/README.md` for why this
+//! exists and how to swap the real crate back in.
+
+use rand::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Poisson`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    /// `lambda` was not a finite positive number.
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson lambda must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Poisson, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError::ShapeTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method: exact for small lambda,
+            // which is the only regime the corpus generator uses.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen_range(0.0..1.0f64);
+                if p <= limit {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        // Large lambda: normal approximation, adequate far outside the
+        // generator's operating range.
+        let u: f64 = rng.gen_range(1e-12..1.0f64);
+        let v: f64 = rng.gen_range(0.0..1.0f64);
+        let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+        (self.lambda + z * self.lambda.sqrt()).max(0.0).round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = Poisson::new(0.7).unwrap();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.7).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn large_lambda_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let d = Poisson::new(100.0).unwrap();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_non_negative_integers() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let d = Poisson::new(1.7).unwrap();
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0);
+            assert_eq!(x, x.trunc());
+        }
+    }
+}

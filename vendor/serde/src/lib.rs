@@ -1,0 +1,25 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes so the
+//! real serde can be dropped in the moment a registry is reachable, but no
+//! code path in this repository *calls* serde serialization — the evaluation
+//! report uses the hand-rolled JSON writer in `kf-eval` instead. These
+//! derives therefore only need to accept the annotations; they expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` helper
+/// attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` helper
+/// attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
