@@ -1,10 +1,14 @@
 //! Baseline timings for the five fusion presets over a fixed corpus — the
-//! perf trajectory anchor for future optimisation PRs.
+//! perf trajectory anchor for future optimisation PRs — plus grouping
+//! throughput, old (two-pass) vs new (single-pass), so the ROADMAP's
+//! single-pass-grouping win stays measured.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use kf_core::Fuser;
+use kf_core::{Fuser, Grouped};
 use kf_eval::Preset;
+use kf_mapreduce::MrConfig;
 use kf_synth::{Corpus, SynthConfig};
+use kf_types::Granularity;
 
 fn fusion_presets(c: &mut Criterion) {
     let corpus = Corpus::generate(&SynthConfig::small(), 42);
@@ -17,5 +21,36 @@ fn fusion_presets(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fusion_presets);
+/// Old-vs-new grouping: the single-pass build (provenance keys renumbered
+/// post-reduce) against the historical two-pass build (registry pre-pass).
+/// The single-pass variant projects and hashes each extraction's
+/// provenance key once instead of twice.
+fn grouping(c: &mut Criterion) {
+    let corpus = Corpus::generate(&SynthConfig::small(), 42);
+    let records = &corpus.batch.records;
+    for granularity in [
+        Granularity::ExtractorPage,
+        Granularity::ExtractorSitePredicatePattern,
+    ] {
+        let tag = match granularity {
+            Granularity::ExtractorPage => "page",
+            _ => "espp",
+        };
+        let mr = MrConfig::with_workers(4);
+        c.bench_function(&format!("group/small/{tag}/single_pass"), |b| {
+            b.iter(|| black_box(Grouped::build(black_box(records), granularity, &mr)))
+        });
+        c.bench_function(&format!("group/small/{tag}/two_pass_baseline"), |b| {
+            b.iter(|| {
+                black_box(Grouped::build_two_pass(
+                    black_box(records),
+                    granularity,
+                    &mr,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, fusion_presets, grouping);
 criterion_main!(benches);

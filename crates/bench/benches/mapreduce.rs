@@ -1,8 +1,13 @@
 //! Timings for the MapReduce substrate itself: shuffle-and-sum over skewed
-//! keys at several worker counts.
+//! keys at several worker counts, unchunked vs chunked shuffles, and the
+//! memory-envelope proof on the large corpus — `JobStats` must show the
+//! chunked peak resident records strictly below the unchunked baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kf_core::Grouped;
 use kf_mapreduce::{map_reduce, Emitter, MrConfig};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::Granularity;
 
 fn shuffle_sum(c: &mut Criterion) {
     // Zipf-ish skew: key 0 receives ~90% of the records, like the paper's
@@ -27,5 +32,91 @@ fn shuffle_sum(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, shuffle_sum);
+/// The same shuffle with the raw-record residency bounded: time the cost of
+/// chunking at several quotas against the unchunked baseline (quota 0).
+fn chunked_shuffle(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..200_000).collect();
+    for chunk in [0usize, 16_384, 65_536] {
+        let cfg = MrConfig::with_workers(4).with_chunk_records(chunk);
+        let tag = if chunk == 0 {
+            "unchunked".to_string()
+        } else {
+            format!("chunk={chunk}")
+        };
+        c.bench_function(&format!("mapreduce/sum200k/{tag}"), |b| {
+            b.iter(|| {
+                let out: Vec<(u64, u64)> = map_reduce(
+                    &cfg,
+                    black_box(&inputs),
+                    |&x, emit: &mut Emitter<u64, u64>| {
+                        let key = if x % 10 == 0 { x % 512 } else { 0 };
+                        emit.emit(key, x);
+                    },
+                    |k, vs| vec![(*k, vs.iter().sum())],
+                );
+                black_box(out)
+            })
+        });
+    }
+}
+
+/// Memory-envelope gate on the large corpus: group it chunked and
+/// unchunked once each and report the `JobStats` residency peaks. The
+/// chunked peak must come in below the unchunked baseline — this is the
+/// bound that lets `SynthConfig::large()`-×100 corpora fit.
+fn large_corpus_peak_records(c: &mut Criterion) {
+    let corpus = Corpus::generate(&SynthConfig::large(), 42);
+    let records = &corpus.batch.records;
+    let granularity = Granularity::ExtractorSitePredicatePattern;
+
+    let (_, unchunked) = Grouped::build_with_stats(records, granularity, &MrConfig::default());
+    let quota = 1 << 16;
+    let chunked_cfg = MrConfig::default().with_chunk_records(quota);
+    let (_, chunked) = Grouped::build_with_stats(records, granularity, &chunked_cfg);
+    assert_eq!(
+        unchunked.peak_resident_records, unchunked.map_output,
+        "unchunked shuffle must materialise the whole map output"
+    );
+    assert!(
+        chunked.peak_resident_records < unchunked.peak_resident_records,
+        "chunked peak {} is not below the unchunked baseline {}",
+        chunked.peak_resident_records,
+        unchunked.peak_resident_records
+    );
+    eprintln!(
+        "large corpus ({} records): peak resident records unchunked={} chunked(quota={})={} \
+         ({:.1}x reduction)",
+        records.len(),
+        unchunked.peak_resident_records,
+        quota,
+        chunked.peak_resident_records,
+        unchunked.peak_resident_records as f64 / chunked.peak_resident_records.max(1) as f64,
+    );
+
+    c.bench_function("group/large/espp/unchunked", |b| {
+        b.iter(|| {
+            black_box(Grouped::build(
+                black_box(records),
+                granularity,
+                &MrConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("group/large/espp/chunked64k", |b| {
+        b.iter(|| {
+            black_box(Grouped::build(
+                black_box(records),
+                granularity,
+                &chunked_cfg,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    shuffle_sum,
+    chunked_shuffle,
+    large_corpus_peak_records
+);
 criterion_main!(benches);

@@ -9,10 +9,10 @@ use serde::{Deserialize, Serialize};
 pub enum Method {
     /// Baseline: probability = provenance-count fraction `m/n`.
     Vote,
-    /// Bayesian analysis of Dong et al. 2009 [11]: single truth, `N`
+    /// Bayesian analysis of Dong et al. 2009 \[11\]: single truth, `N`
     /// uniformly-distributed false values, independent sources.
     Accu,
-    /// POPACCU of Dong, Saha, Srivastava 2013 [14]: false-value
+    /// POPACCU of Dong, Saha, Srivastava 2013 \[14\]: false-value
     /// distribution estimated from the data (robust to copied false
     /// values).
     PopAccu,
@@ -179,9 +179,12 @@ impl FusionConfig {
         self
     }
 
-    /// Builder-style: set worker parallelism.
+    /// Builder-style: set worker parallelism. Adjusts workers and the
+    /// partition ratio in place, preserving other engine knobs
+    /// (`chunk_records`).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.mr = MrConfig::with_workers(workers);
+        self.mr.workers = workers.max(1);
+        self.mr.partitions = workers.max(1) * 4;
         self
     }
 }
@@ -233,6 +236,20 @@ mod tests {
         assert_eq!(c.rounds, 3);
         assert_eq!(c.sample_limit, 1_000);
         assert_eq!(c.mr.workers, 2);
+    }
+
+    #[test]
+    fn with_workers_preserves_chunk_records() {
+        // Regression: with_workers used to rebuild MrConfig wholesale,
+        // silently zeroing a configured shuffle-residency cap.
+        let c = FusionConfig {
+            mr: MrConfig::default().with_chunk_records(1 << 16),
+            ..FusionConfig::popaccu()
+        }
+        .with_workers(4);
+        assert_eq!(c.mr.workers, 4);
+        assert_eq!(c.mr.partitions, 16);
+        assert_eq!(c.mr.chunk_records, 1 << 16);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!
 //! Execution follows the paper's three-stage MapReduce architecture
 //! (Fig. 8) on the [`kf_mapreduce`] substrate, with reducer-side reservoir
-//! sampling (`L`) and forced termination (`R`).
+//! sampling (`L`) and forced termination (`R`). The grouping stage
+//! ([`Grouped::build`]) is a single MapReduce pass — provenance keys ship
+//! packed through the shuffle and dense sorted ids are assigned in a
+//! post-reduce renumbering — and honours the engine's chunked-shuffle
+//! memory envelope (`MrConfig::chunk_records`); see the repository's
+//! `ARCHITECTURE.md` for the data flow.
 //!
 //! ```
 //! use kf_core::{Fuser, FusionConfig};

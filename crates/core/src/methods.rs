@@ -33,7 +33,7 @@ pub fn vote(counts: &[usize]) -> Vec<f64> {
     counts.iter().map(|&m| m as f64 / n as f64).collect()
 }
 
-/// ACCU ([11], §4.1): Bayesian analysis with `N` uniformly-distributed
+/// ACCU (\[11\], §4.1): Bayesian analysis with `N` uniformly-distributed
 /// false values. `cands[i]` is the accuracy list of value *i*'s
 /// provenances.
 pub fn accu(cands: &[Vec<f64>], n_false: f64) -> Vec<f64> {
@@ -58,7 +58,7 @@ pub fn accu(cands: &[Vec<f64>], n_false: f64) -> Vec<f64> {
     softmax_with_extra_mass(&scores, unobserved)
 }
 
-/// POPACCU ([14], §4.1): like ACCU but the false-value distribution ρ is
+/// POPACCU (\[14\], §4.1): like ACCU but the false-value distribution ρ is
 /// estimated from the data instead of assumed uniform. `counts[i]` is the
 /// raw provenance count `n(v)` of value *i* (used for the popularity
 /// estimate), `inner_iters` bounds the per-item fixpoint.

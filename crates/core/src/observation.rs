@@ -4,17 +4,24 @@
 //! This is Stage I's shuffle (map by data item) plus the provenance
 //! dimension-reduction of §4.1 — an *(Extractor, URL)* pair (or a coarser /
 //! finer key, §4.3.1) becomes a dense integer id with an accuracy slot.
-//! The grouping is built once per fusion run with a MapReduce pass and then
-//! shared (read-only) by all rounds; only the accuracy array mutates
-//! between rounds.
+//! The grouping is built once per fusion run with a **single** MapReduce
+//! pass ([`Grouped::build`]): the mapper emits the full [`ProvenanceKey`]
+//! alongside each observation, and the dense sorted ids are assigned in a
+//! post-reduce renumbering step, so each extraction's provenance key is
+//! projected and hashed once instead of twice (the historical two-pass
+//! scheme is retained as [`Grouped::build_two_pass`] for differential
+//! testing and as the benchmark baseline). The grouping is then shared
+//! (read-only) by all rounds; only the accuracy array mutates between
+//! rounds.
 
-use kf_mapreduce::{map_reduce, Emitter, MrConfig};
+use kf_mapreduce::{map_reduce, map_reduce_with_stats, Emitter, JobStats, MrConfig};
 use kf_types::{
-    DataItem, Extraction, FxHashMap, FxHashSet, Granularity, ProvenanceKey, Triple, Value,
+    DataItem, Extraction, FxHashMap, FxHashSet, FxMixHashMap, FxMixHashSet, Granularity,
+    ProvenanceKey, Triple, Value,
 };
 
 /// One candidate value of a data item with its supporting provenances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValueGroup {
     /// The candidate value.
     pub value: Value,
@@ -27,7 +34,7 @@ pub struct ValueGroup {
 }
 
 /// All candidate values observed for one data item.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ItemGroup {
     /// The data item.
     pub item: DataItem,
@@ -52,7 +59,7 @@ impl ItemGroup {
 }
 
 /// Registry of provenances at the configured granularity.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProvRegistry {
     /// The keys, indexed by dense id.
     pub keys: Vec<ProvenanceKey>,
@@ -89,7 +96,7 @@ impl ProvRegistry {
 }
 
 /// The full grouped view of a batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grouped {
     /// Item groups, sorted by data item.
     pub items: Vec<ItemGroup>,
@@ -99,8 +106,237 @@ pub struct Grouped {
 
 impl Grouped {
     /// Build the grouped view of `batch` at `granularity` using the
-    /// MapReduce engine.
+    /// MapReduce engine — a single pass; see [`Grouped::build_with_stats`].
     pub fn build(batch: &[Extraction], granularity: Granularity, mr: &MrConfig) -> Grouped {
+        Self::build_with_stats(batch, granularity, mr).0
+    }
+
+    /// [`Grouped::build`] variant that also returns the grouping job's
+    /// execution counters (shuffle volume, peak resident records).
+    ///
+    /// The build is a **single** MapReduce pass: the mapper emits
+    /// `(item, (value, ProvenanceKey, extractor, page))`, carrying the full
+    /// provenance key through the shuffle, and the reducer deduplicates
+    /// per-value support keyed by `ProvenanceKey`. Dense ids are assigned
+    /// afterwards in a renumbering step over the distinct keys, sorted so
+    /// the id space is deterministic — identical to what the historical
+    /// registry pre-pass produced ([`Grouped::build_two_pass`]), but each
+    /// extraction's key is projected and hashed once instead of twice.
+    pub fn build_with_stats(
+        batch: &[Extraction],
+        granularity: Granularity,
+        mr: &MrConfig,
+    ) -> (Grouped, JobStats) {
+        // ---- The single grouping pass --------------------------------------
+        // The provenance key rides along with every observation in its
+        // packed `u128` form (16 bytes through the shuffle instead of the
+        // full Option-struct), projected and hashed once per extraction.
+        type Obs = (Value, u128, u16, u32);
+        /// One per-value header: `(value, start, len, n_extractors,
+        /// n_pages)`, where `start..start + len` indexes the item's flat
+        /// packed-key buffer. Dense ids do not exist yet.
+        type RawValues = Vec<(Value, u32, u32, u16, u32)>;
+        let (mut raw, stats) = map_reduce_with_stats(
+            mr,
+            batch,
+            |e: &Extraction, emit: &mut Emitter<DataItem, Obs>| {
+                emit.emit(
+                    e.triple.data_item(),
+                    (
+                        e.triple.object,
+                        ProvenanceKey::at(granularity, &e.provenance, e.triple.predicate).pack(),
+                        e.provenance.extractor.raw(),
+                        e.provenance.page.raw(),
+                    ),
+                );
+            },
+            |item, mut observations| {
+                // Sort by (value, packed key, …): values come out sorted,
+                // and each value's provenance keys form sorted runs that
+                // deduplicate by adjacency — no per-value hash sets, and
+                // one flat key buffer per item instead of one Vec per
+                // value.
+                observations.sort_unstable();
+                let mut headers: RawValues = Vec::new();
+                let mut flat: Vec<u128> = Vec::new();
+                let mut exts: Vec<u16> = Vec::new();
+                let mut pages: Vec<u32> = Vec::new();
+                let mut i = 0;
+                while i < observations.len() {
+                    let value = observations[i].0;
+                    let start = flat.len() as u32;
+                    exts.clear();
+                    pages.clear();
+                    while i < observations.len() && observations[i].0 == value {
+                        let (_, key, ext, page) = observations[i];
+                        if flat.len() as u32 == start || *flat.last().unwrap() != key {
+                            flat.push(key);
+                        }
+                        exts.push(ext);
+                        pages.push(page);
+                        i += 1;
+                    }
+                    exts.sort_unstable();
+                    exts.dedup();
+                    pages.sort_unstable();
+                    pages.dedup();
+                    headers.push((
+                        value,
+                        start,
+                        flat.len() as u32 - start,
+                        exts.len() as u16,
+                        pages.len() as u32,
+                    ));
+                }
+                vec![(*item, headers, flat)]
+            },
+        );
+        // The engine only orders keys within a shuffle partition; sort
+        // globally so output order is independent of the partition count.
+        raw.sort_unstable_by_key(|g| g.0);
+
+        // ---- Post-reduce renumbering ---------------------------------------
+        // Distinct provenance keys, sorted, become the dense id space —
+        // the same ids the registry pre-pass used to assign (packed-word
+        // order equals key order within a granularity). Because id
+        // assignment is monotone in key order, each group's key list
+        // (sorted by packed key) maps directly to a sorted id list. Both
+        // steps run parallel over contiguous item chunks (concatenated in
+        // order, so the result is deterministic), mirroring the
+        // parallelism the reducers had.
+        let workers = mr.workers.max(1);
+        let chunk_size = raw.len().div_ceil(workers).max(1);
+
+        let mut packed_keys: Vec<u128> = if workers == 1 {
+            let mut set: FxMixHashSet<u128> = FxMixHashSet::default();
+            for (_, _, flat) in &raw {
+                set.extend(flat.iter().copied());
+            }
+            set.into_iter().collect()
+        } else {
+            let mut sets: Vec<FxMixHashSet<u128>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = raw
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut set: FxMixHashSet<u128> = FxMixHashSet::default();
+                            for (_, _, flat) in chunk {
+                                set.extend(flat.iter().copied());
+                            }
+                            set
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    sets.push(h.join().expect("key-collection worker panicked"));
+                }
+            });
+            let mut union = sets.pop().unwrap_or_default();
+            for set in sets {
+                union.extend(set);
+            }
+            union.into_iter().collect()
+        };
+        packed_keys.sort_unstable();
+        let key_index: FxMixHashMap<u128, u32> = packed_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
+        let keys: Vec<ProvenanceKey> = packed_keys
+            .iter()
+            .map(|&w| ProvenanceKey::unpack(w))
+            .collect();
+        let n = keys.len();
+
+        // Rebuild the groups with dense ids and count support (the number
+        // of unique triples each provenance contributes; the (value, prov)
+        // pairs are already deduplicated) in the same sweep. Each value's
+        // run in `flat` is sorted by packed key, and id assignment is
+        // monotone in that order, so the mapped id lists come out sorted.
+        let renumber =
+            |chunk: Vec<(DataItem, RawValues, Vec<u128>)>| -> (Vec<ItemGroup>, Vec<u32>) {
+                let mut support = vec![0u32; n];
+                let items = chunk
+                    .into_iter()
+                    .map(|(item, headers, flat)| ItemGroup {
+                        item,
+                        values: headers
+                            .into_iter()
+                            .map(|(value, start, len, n_extractors, n_pages)| ValueGroup {
+                                value,
+                                provs: flat[start as usize..(start + len) as usize]
+                                    .iter()
+                                    .map(|k| {
+                                        let pid = key_index[k];
+                                        support[pid as usize] += 1;
+                                        pid
+                                    })
+                                    .collect(),
+                                n_extractors,
+                                n_pages,
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                (items, support)
+            };
+
+        let (items, support) = if workers == 1 {
+            renumber(raw)
+        } else {
+            // Split from the back with split_off (each element moves once;
+            // draining the front would shift the whole remainder per chunk).
+            let mut chunks: Vec<Vec<_>> = Vec::new();
+            while !raw.is_empty() {
+                let at = raw.len() - chunk_size.min(raw.len());
+                chunks.push(raw.split_off(at));
+            }
+            chunks.reverse();
+            let mut parts: Vec<(Vec<ItemGroup>, Vec<u32>)> = Vec::new();
+            std::thread::scope(|scope| {
+                let renumber = &renumber;
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| scope.spawn(move || renumber(chunk)))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("renumber worker panicked"));
+                }
+            });
+            let mut items = Vec::new();
+            let mut support = vec![0u32; n];
+            for (part_items, part_support) in parts {
+                items.extend(part_items);
+                for (total, local) in support.iter_mut().zip(part_support) {
+                    *total += local;
+                }
+            }
+            (items, support)
+        };
+        let grouped = Grouped {
+            items,
+            provs: ProvRegistry {
+                keys,
+                support,
+                accuracy: vec![0.0; n],
+                evaluated: vec![false; n],
+            },
+        };
+        (grouped, stats)
+    }
+
+    /// The historical two-pass build: a registry pre-pass assigns dense
+    /// provenance ids, then a second pass groups by data item. Retained as
+    /// the measured baseline for `benches/fusion_methods.rs` and for
+    /// differential tests — its output must stay byte-identical to
+    /// [`Grouped::build`].
+    pub fn build_two_pass(
+        batch: &[Extraction],
+        granularity: Granularity,
+        mr: &MrConfig,
+    ) -> Grouped {
         // ---- Pass A: the provenance registry ------------------------------
         // Distinct provenance keys, sorted for dense-id determinism.
         let mut keys: Vec<ProvenanceKey> = map_reduce(
@@ -171,13 +407,8 @@ impl Grouped {
                 }]
             },
         );
-        // The engine only orders keys within a shuffle partition; sort
-        // globally so output order is independent of the partition count.
         items.sort_unstable_by_key(|g| g.item);
 
-        // ---- Support counts -------------------------------------------------
-        // A provenance's support is the number of unique triples it
-        // contributes (the (value, prov) pairs are already deduplicated).
         let mut support = vec![0u32; keys.len()];
         for group in &items {
             for vg in &group.values {
@@ -313,6 +544,50 @@ mod tests {
         assert!(g.items.is_empty());
         assert!(g.provs.is_empty());
         assert_eq!(g.n_triples(), 0);
+    }
+
+    #[test]
+    fn single_pass_matches_two_pass_baseline() {
+        let batch: Vec<Extraction> = (0..500)
+            .map(|i| ext(i % 23, i % 5, i % 9, (i % 6) as u16, i % 70))
+            .collect();
+        for g in [
+            Granularity::ExtractorPage,
+            Granularity::ExtractorSitePredicatePattern,
+            Granularity::PageOnly,
+        ] {
+            for mr in [MrConfig::sequential(), MrConfig::with_workers(5)] {
+                let single = Grouped::build(&batch, g, &mr);
+                let two = Grouped::build_two_pass(&batch, g, &mr);
+                assert_eq!(single, two, "granularity {g:?}, mr {mr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_build_matches_unchunked_with_bounded_peak() {
+        let batch: Vec<Extraction> = (0..4_000)
+            .map(|i| ext(i % 37, i % 4, i % 11, (i % 8) as u16, i % 250))
+            .collect();
+        let mr = MrConfig::with_workers(4);
+        let (unchunked, base_stats) =
+            Grouped::build_with_stats(&batch, Granularity::ExtractorPage, &mr);
+        // Unchunked: the whole shuffle (one record per extraction) resident.
+        assert_eq!(base_stats.peak_resident_records, batch.len() as u64);
+
+        let chunked_mr = mr.with_chunk_records(512);
+        let (chunked, chunk_stats) =
+            Grouped::build_with_stats(&batch, Granularity::ExtractorPage, &chunked_mr);
+        assert_eq!(unchunked, chunked);
+        assert!(
+            chunk_stats.peak_resident_records < base_stats.peak_resident_records,
+            "peak {} not below unchunked {}",
+            chunk_stats.peak_resident_records,
+            base_stats.peak_resident_records
+        );
+        // Grouping emits exactly one record per input, so the bound is
+        // tight up to one wave.
+        assert!(chunk_stats.peak_resident_records <= 1_024);
     }
 
     #[test]

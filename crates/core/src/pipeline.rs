@@ -54,8 +54,9 @@ impl Fuser {
     /// [`Fuser::run`] over a raw record slice.
     pub fn run_records(&self, records: &[Extraction], gold: Option<&GoldStandard>) -> FusionOutput {
         let cfg = &self.config;
-        let mut grouped = Grouped::build(records, cfg.granularity, &cfg.mr);
-        let mut stats = JobStats::new(records.len() as u64);
+        // The grouping job's counters (including the single grouping pass's
+        // shuffle volume and residency peak) seed the pipeline totals.
+        let (mut grouped, mut stats) = Grouped::build_with_stats(records, cfg.granularity, &cfg.mr);
 
         // ---- Accuracy initialisation (§4.3.3) -----------------------------
         grouped.provs.reset_accuracy(cfg.default_accuracy);

@@ -1,8 +1,40 @@
 //! Property-based tests for the fusion methods: probabilistic invariants
-//! that must hold for any candidate-set shape.
+//! that must hold for any candidate-set shape — and for the grouping
+//! stage: single-pass, two-pass, chunked and unchunked builds must agree
+//! exactly for any corpus shape.
 
 use kf_core::methods::{accu, popaccu, vote};
+use kf_core::Grouped;
+use kf_mapreduce::MrConfig;
+use kf_types::{
+    EntityId, Extraction, ExtractorId, Granularity, PageId, PatternId, PredicateId, Provenance,
+    SiteId, Triple, Value,
+};
 use proptest::prelude::*;
+
+/// Arbitrary extraction batches spanning the corpus shapes that matter for
+/// grouping: few/many items, value conflicts, shared and singleton
+/// provenances, multi-site pages.
+fn arb_batch() -> impl Strategy<Value = Vec<Extraction>> {
+    prop::collection::vec((0u32..20, 0u32..4, 0u32..8, 0u16..5, 0u32..40), 0..250).prop_map(
+        |tuples| {
+            tuples
+                .into_iter()
+                .map(|(s, p, o, extractor, page)| {
+                    Extraction::new(
+                        Triple::new(EntityId(s), PredicateId(p), Value::Entity(EntityId(o))),
+                        Provenance::new(
+                            ExtractorId(extractor),
+                            PageId(page),
+                            SiteId(page / 8),
+                            PatternId(extractor as u32 % 3),
+                        ),
+                    )
+                })
+                .collect()
+        },
+    )
+}
 
 /// Candidate sets: up to 8 values, each with up to 10 provenances whose
 /// accuracies lie in (0, 1).
@@ -74,6 +106,57 @@ proptest! {
             let p1 = popaccu(&boosted, &boosted_counts, 8)[0];
             prop_assert!(p1 >= p0 - 1e-6, "POPACCU: {} -> {}", p0, p1);
         }
+    }
+
+    /// Chunked and unchunked shuffles build identical `Grouped` output for
+    /// any corpus shape, worker count and chunk quota — and both match the
+    /// historical two-pass baseline.
+    #[test]
+    fn grouping_is_invariant_to_chunking_and_passes(
+        batch in arb_batch(),
+        workers in 1usize..7,
+        chunk_records in 1usize..100,
+    ) {
+        let reference = Grouped::build(
+            &batch,
+            Granularity::ExtractorSitePredicatePattern,
+            &MrConfig::sequential(),
+        );
+        let chunked = Grouped::build(
+            &batch,
+            Granularity::ExtractorSitePredicatePattern,
+            &MrConfig::with_workers(workers).with_chunk_records(chunk_records),
+        );
+        prop_assert_eq!(&reference, &chunked);
+        let two_pass = Grouped::build_two_pass(
+            &batch,
+            Granularity::ExtractorSitePredicatePattern,
+            &MrConfig::with_workers(workers),
+        );
+        prop_assert_eq!(&reference, &two_pass);
+    }
+
+    /// The chunked grouping peak respects the quota (grouping emits one
+    /// record per extraction) while the unchunked peak is the whole batch.
+    #[test]
+    fn grouping_peak_is_bounded_by_quota(
+        batch in arb_batch(),
+        chunk_records in 1usize..64,
+    ) {
+        let (_, unchunked) = Grouped::build_with_stats(
+            &batch,
+            Granularity::ExtractorPage,
+            &MrConfig::sequential(),
+        );
+        prop_assert_eq!(unchunked.peak_resident_records, batch.len() as u64);
+        let (_, chunked) = Grouped::build_with_stats(
+            &batch,
+            Granularity::ExtractorPage,
+            &MrConfig::sequential().with_chunk_records(chunk_records),
+        );
+        prop_assert!(
+            chunked.peak_resident_records <= (chunk_records as u64).min(batch.len() as u64)
+        );
     }
 
     /// VOTE probabilities always sum to exactly 1 over non-empty counts.

@@ -20,7 +20,8 @@
 //! `popaccu_plus`) over a [`kf_synth::Corpus`] and emits a serializable
 //! [`report::EvalReport`] (JSON via the in-repo [`json`] writer), so every
 //! future performance PR can prove it did not regress fusion quality by
-//! diffing `report.json`.
+//! diffing `report.json`. The report's JSON schema is documented in the
+//! [`report`] module.
 //!
 //! ```
 //! use kf_eval::{AblationRunner, Preset};

@@ -5,6 +5,65 @@
 //! the in-repo [`crate::json`] writer) so successive PRs can diff
 //! `report.json` and catch quality regressions, the same way `BENCH_*.json`
 //! files track performance.
+//!
+//! # `report.json` schema (version 1)
+//!
+//! Everything except the wall-clock `fuse_ms` fields is deterministic for
+//! a fixed corpus scale and seed.
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "corpus": {                      // CorpusSummary
+//!     "scale": "paper",              // tiny | small | paper | large
+//!     "seed": 42,                    // corpus generator seed (u64, exact)
+//!     "n_records": …,                // extraction records fused
+//!     "n_unique_triples": …,
+//!     "n_data_items": …,
+//!     "n_gold_items": …,             // items known to the gold KB
+//!     "lcwa_accuracy": 0.0–1.0       // raw extraction accuracy under LCWA
+//!   },
+//!   "methods": [                     // one MethodEval per preset, in
+//!     {                              // ablation order
+//!       "name": "vote",              // preset id (vote | accu | popaccu |
+//!                                    //   popaccu_plus_unsup | popaccu_plus)
+//!       "label": "VOTE",             // display label from the paper
+//!       "n_scored": …,               // scored unique triples
+//!       "n_labelled": …,             // gold-labelled (true + false)
+//!       "n_true": …,
+//!       "n_unpredicted": …,          // labelled but no prediction
+//!       "coverage": 0.0–1.0,         // labelled triples with a prediction
+//!       "predicted_fraction": 0.0–1.0, // ALL triples with a prediction
+//!       "wdev": …,                   // paper's weighted deviation
+//!       "ece": …,                    // expected calibration error
+//!       "auc_pr": …,                 // trapezoidal AUC-PR
+//!       "precision_at": [ {"k": 100, "precision": …}, … ],
+//!       "calibration_equal_width": { // CalibrationCurve
+//!         "wdev": …, "ece": …,
+//!         "bins": [ {"lo": …, "hi": …, "count": …,
+//!                    "mean_predicted": …,
+//!                    "observed_accuracy": …|null}, … ]  // null = empty bin
+//!       },
+//!       "calibration_equal_mass": {  // same shape, equal-mass binning
+//!         …
+//!       },
+//!       "pr_curve": {
+//!         "auc": …,
+//!         "n_points": …,             // full in-memory curve size
+//!         "points": [ {"threshold": …, "precision": …, "recall": …}, … ]
+//!                                    // evenly strided subsample, at most
+//!                                    // MAX_PR_POINTS_IN_REPORT + final point
+//!       },
+//!       "fuse_ms": …                 // wall clock; the one nondeterministic
+//!     }, …                           //   field
+//!   ]
+//! }
+//! ```
+//!
+//! Numbers serialize via Rust's shortest-roundtrip float formatting;
+//! non-finite values become `null`; counts and seeds are exact integers
+//! (never f64-rounded). Bump `schema_version` when renaming or removing
+//! fields — adding fields is backward-compatible.
 
 use crate::calibration::{CalibrationBin, CalibrationCurve};
 use crate::json::Json;

@@ -1,4 +1,25 @@
 //! The map → shuffle → reduce execution engine.
+//!
+//! Two shuffle strategies share one reduce phase:
+//!
+//! * **Unchunked** (`chunk_records == 0`, the default): the whole map
+//!   output is materialised in per-partition buffers before any grouping
+//!   happens. Peak raw-record residency equals the full shuffle volume
+//!   (`JobStats::map_output`).
+//! * **Chunked** (`chunk_records > 0`): inputs are mapped in bounded
+//!   *waves* sized so each wave emits roughly `chunk_records` records; as
+//!   each wave's buffers fill they are immediately merged into
+//!   per-partition reduce-side group accumulators and freed. Peak
+//!   raw-record residency is the largest single wave
+//!   ([`JobStats::peak_resident_records`]), not the whole shuffle.
+//!
+//! Both paths are deterministic and produce identical output: waves are
+//! processed in input order and, within a wave, worker buffers are merged
+//! in worker order (workers own contiguous input chunks), so a key's
+//! values always reach the reducer ordered by input index. Chunking bounds
+//! the raw shuffle copy only — grouped values still accumulate in memory
+//! until their key is reduced; spill-to-disk partitions are the next step
+//! (see ROADMAP.md).
 
 use crate::stats::JobStats;
 use kf_types::hash::hash_one;
@@ -12,7 +33,15 @@ pub struct MrConfig {
     pub workers: usize,
     /// Number of shuffle partitions. More partitions smooth out key skew at
     /// the cost of per-partition overhead; defaults to `4 × workers`.
+    /// Clamped to at least 1 by the engine (a directly constructed
+    /// `partitions: 0` must not panic the shuffle router).
     pub partitions: usize,
+    /// Soft cap on raw (mapper-emitted, not yet grouped) shuffle records
+    /// resident in memory at once. `0` disables chunking and materialises
+    /// the whole map output before reduction. The cap is approximate: a
+    /// wave may overshoot when the mapper fan-out spikes, and a single
+    /// input's emissions are never split across waves.
+    pub chunk_records: usize,
 }
 
 impl Default for MrConfig {
@@ -23,6 +52,7 @@ impl Default for MrConfig {
         MrConfig {
             workers,
             partitions: workers * 4,
+            chunk_records: 0,
         }
     }
 }
@@ -34,6 +64,7 @@ impl MrConfig {
         MrConfig {
             workers: 1,
             partitions: 1,
+            chunk_records: 0,
         }
     }
 
@@ -42,7 +73,15 @@ impl MrConfig {
         MrConfig {
             workers: workers.max(1),
             partitions: workers.max(1) * 4,
+            chunk_records: 0,
         }
+    }
+
+    /// Builder-style: bound raw shuffle residency to roughly
+    /// `chunk_records` records (`0` disables chunking).
+    pub fn with_chunk_records(mut self, chunk_records: usize) -> Self {
+        self.chunk_records = chunk_records;
+        self
     }
 }
 
@@ -55,8 +94,10 @@ pub struct Emitter<K, V> {
 
 impl<K: Hash, V> Emitter<K, V> {
     fn new(partitions: usize) -> Self {
+        // Clamp defensively: routing needs at least one bucket even if a
+        // caller hands the engine `partitions: 0`.
         Emitter {
-            buffers: (0..partitions).map(|_| Vec::new()).collect(),
+            buffers: (0..partitions.max(1)).map(|_| Vec::new()).collect(),
             emitted: 0,
         }
     }
@@ -70,6 +111,17 @@ impl<K: Hash, V> Emitter<K, V> {
     }
 }
 
+/// Reduce-side accumulator: one group of values per distinct key.
+type Groups<K, V> = FxHashMap<K, Vec<V>>;
+
+/// What the shuffle hands to a reduce worker for one partition.
+enum Partition<K, V> {
+    /// Unchunked: raw records, grouped inside the reduce worker.
+    Raw(Vec<(K, V)>),
+    /// Chunked: records already merged into groups wave by wave.
+    Grouped(Groups<K, V>),
+}
+
 /// Run a MapReduce job.
 ///
 /// * `inputs` — the input records; read-only, shared across map workers.
@@ -80,7 +132,8 @@ impl<K: Hash, V> Emitter<K, V> {
 ///   output records for that key.
 ///
 /// Output records are returned grouped by partition and sorted by key within
-/// each partition, so the overall output is deterministic.
+/// each partition, so the overall output is deterministic — and identical
+/// whether or not the shuffle is chunked ([`MrConfig::chunk_records`]).
 pub fn map_reduce<I, K, V, O, M, R>(cfg: &MrConfig, inputs: &[I], mapper: M, reducer: R) -> Vec<O>
 where
     I: Sync,
@@ -112,41 +165,20 @@ where
     let partitions = cfg.partitions.max(1);
     let mut stats = JobStats::new(inputs.len() as u64);
 
-    // ---- Map phase -------------------------------------------------------
-    // Each worker maps a contiguous chunk of the input into its own set of
-    // per-partition buffers; no locks on the hot path.
-    let chunk_size = inputs.len().div_ceil(workers).max(1);
-    let mut worker_outputs: Vec<Emitter<K, V>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk_size)
-            .map(|chunk| {
-                let mapper = &mapper;
-                scope.spawn(move || {
-                    let mut emitter = Emitter::new(partitions);
-                    for input in chunk {
-                        mapper(input, &mut emitter);
-                    }
-                    emitter
-                })
-            })
-            .collect();
-        for h in handles {
-            worker_outputs.push(h.join().expect("map worker panicked"));
-        }
-    });
-    stats.map_output = worker_outputs.iter().map(|e| e.emitted).sum();
-
-    // ---- Shuffle ---------------------------------------------------------
-    // Concatenate each partition's buffers in worker order. Because workers
-    // own contiguous input chunks, values for a key end up ordered by input
-    // index — a deterministic order independent of scheduling.
-    let mut partition_records: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
-    for emitter in worker_outputs {
-        for (p, buf) in emitter.buffers.into_iter().enumerate() {
-            partition_records[p].extend(buf);
-        }
-    }
+    // ---- Map + shuffle ---------------------------------------------------
+    let payloads: Vec<Partition<K, V>> = if cfg.chunk_records == 0 {
+        let (records, map_output) = shuffle_unchunked(inputs, workers, partitions, &mapper);
+        stats.map_output = map_output;
+        // The whole raw shuffle is resident at once.
+        stats.peak_resident_records = map_output;
+        records.into_iter().map(Partition::Raw).collect()
+    } else {
+        let (groups, map_output, peak) =
+            shuffle_chunked(inputs, workers, partitions, cfg.chunk_records, &mapper);
+        stats.map_output = map_output;
+        stats.peak_resident_records = peak;
+        groups.into_iter().map(Partition::Grouped).collect()
+    };
 
     // ---- Reduce phase ----------------------------------------------------
     // Workers steal whole partitions off a shared index. Keys are reduced in
@@ -156,10 +188,10 @@ where
     // Partition data sits in Mutex<Option<..>> slots so exactly one worker
     // takes each partition; contention is one lock acquisition per
     // partition, not per record.
-    type PartitionSlot<K, V> = std::sync::Mutex<Option<Vec<(K, V)>>>;
-    let partition_slots: Vec<PartitionSlot<K, V>> = partition_records
+    type PartitionSlot<K, V> = std::sync::Mutex<Option<Partition<K, V>>>;
+    let partition_slots: Vec<PartitionSlot<K, V>> = payloads
         .into_iter()
-        .map(|records| std::sync::Mutex::new(Some(records)))
+        .map(|p| std::sync::Mutex::new(Some(p)))
         .collect();
 
     let mut results: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(partitions);
@@ -176,15 +208,19 @@ where
                         if p >= slots.len() {
                             break;
                         }
-                        let records = slots[p]
+                        let payload = slots[p]
                             .lock()
                             .expect("partition lock poisoned")
                             .take()
                             .expect("partition taken twice");
-                        let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
-                        for (k, v) in records {
-                            groups.entry(k).or_default().push(v);
-                        }
+                        let groups = match payload {
+                            Partition::Grouped(groups) => groups,
+                            Partition::Raw(records) => {
+                                let mut groups: Groups<K, V> = FxHashMap::default();
+                                merge_buffers(&mut groups, vec![records]);
+                                groups
+                            }
+                        };
                         let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
                         keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                         let n_keys = keyed.len() as u64;
@@ -211,6 +247,191 @@ where
         output.extend(out);
     }
     (output, stats)
+}
+
+/// Map `inputs` across up to `workers` threads (contiguous chunks, so
+/// per-key value order follows input order) and return the emitters in
+/// worker (= input) order.
+fn map_slice<I, K, V, M>(
+    inputs: &[I],
+    workers: usize,
+    partitions: usize,
+    mapper: &M,
+) -> Vec<Emitter<K, V>>
+where
+    I: Sync,
+    K: Hash + Send,
+    V: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let chunk_size = inputs.len().div_ceil(workers).max(1);
+    if workers == 1 || inputs.len() <= chunk_size {
+        // Single chunk: run inline, no thread spawn.
+        let mut emitter = Emitter::new(partitions);
+        for input in inputs {
+            mapper(input, &mut emitter);
+        }
+        return vec![emitter];
+    }
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut emitter = Emitter::new(partitions);
+                    for input in chunk {
+                        mapper(input, &mut emitter);
+                    }
+                    emitter
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("map worker panicked"));
+        }
+    });
+    out
+}
+
+/// One-shot shuffle: map everything, then concatenate each partition's
+/// buffers in worker order. Returns `(per-partition raw records, map_output)`.
+fn shuffle_unchunked<I, K, V, M>(
+    inputs: &[I],
+    workers: usize,
+    partitions: usize,
+    mapper: &M,
+) -> (Vec<Vec<(K, V)>>, u64)
+where
+    I: Sync,
+    K: Hash + Send,
+    V: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+{
+    let emitters = map_slice(inputs, workers, partitions, mapper);
+    let map_output = emitters.iter().map(|e| e.emitted).sum();
+    let mut partition_records: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for emitter in emitters {
+        for (p, buf) in emitter.buffers.into_iter().enumerate() {
+            partition_records[p].extend(buf);
+        }
+    }
+    (partition_records, map_output)
+}
+
+/// Wave-based shuffle: map bounded input waves, merging each wave's buffers
+/// into per-partition group accumulators as they fill, so at most roughly
+/// `quota` raw records are resident at once. Wave sizes adapt to the
+/// observed mapper fan-out. Returns
+/// `(per-partition groups, map_output, peak resident raw records)`.
+fn shuffle_chunked<I, K, V, M>(
+    inputs: &[I],
+    workers: usize,
+    partitions: usize,
+    quota: usize,
+    mapper: &M,
+) -> (Vec<Groups<K, V>>, u64, u64)
+where
+    I: Sync,
+    K: Hash + Eq + Send,
+    V: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+{
+    let quota = quota.max(1);
+    let mut groups: Vec<Groups<K, V>> = (0..partitions).map(|_| FxHashMap::default()).collect();
+    let mut consumed = 0usize;
+    let mut emitted_total = 0u64;
+    let mut peak = 0u64;
+    let mut last_wave = (0usize, 0u64);
+    while consumed < inputs.len() {
+        // Two rules size each wave:
+        //
+        // 1. The PREVIOUS wave's observed fan-out divides the quota — a
+        //    local estimate tracks skewed inputs (e.g. items sorted so
+        //    that high-fan-out regions cluster) far better than a global
+        //    running average. It is floored at 1, so a wave never takes
+        //    more than `quota` inputs and a low-emission prefix cannot
+        //    grow a catch-up wave whose emissions dwarf the quota once
+        //    the mapper starts emitting again. (Sub-quota waves from
+        //    fan-out < 1 are cheap: small waves merge inline, and the
+        //    map scan cost is the same however it is sliced.)
+        // 2. A wave takes at most 2× the previous wave's inputs,
+        //    starting from 1 — a geometric ramp, so even when the input
+        //    *starts* in its hottest region (Zipf-head items first) the
+        //    cold estimate can only overshoot the quota by ~2×, at the
+        //    cost of ~log2(quota) tiny ramp-up waves.
+        let wave_len = if consumed == 0 {
+            1
+        } else {
+            let fanout = (last_wave.1 as f64 / last_wave.0 as f64).max(1.0);
+            (((quota as f64) / fanout).ceil() as usize).min(last_wave.0.saturating_mul(2))
+        }
+        .clamp(1, inputs.len() - consumed);
+        let wave = &inputs[consumed..consumed + wave_len];
+        let emitters = map_slice(wave, workers, partitions, mapper);
+        let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
+        peak = peak.max(wave_emitted);
+        emitted_total += wave_emitted;
+        consumed += wave_len;
+        last_wave = (wave_len, wave_emitted);
+        merge_wave(emitters, &mut groups, workers);
+    }
+    (groups, emitted_total, peak)
+}
+
+/// Drain one wave's emitter buffers into the per-partition group
+/// accumulators. Buffers are appended in worker order, preserving per-key
+/// input order; partitions are merged in parallel (each partition is owned
+/// by exactly one merge task, so no locks).
+fn merge_wave<K, V>(emitters: Vec<Emitter<K, V>>, groups: &mut [Groups<K, V>], workers: usize)
+where
+    K: Hash + Eq + Send,
+    V: Send,
+{
+    // Below this many records a wave is merged inline: spawning merge
+    // threads per tiny wave (small `chunk_records`) would cost more than
+    // the moves themselves.
+    const PARALLEL_MERGE_THRESHOLD: u64 = 4_096;
+    let wave_records: u64 = emitters.iter().map(|e| e.emitted).sum();
+    let partitions = groups.len();
+    let mut per_partition: Vec<Vec<Vec<(K, V)>>> = (0..partitions).map(|_| Vec::new()).collect();
+    for emitter in emitters {
+        for (p, buf) in emitter.buffers.into_iter().enumerate() {
+            if !buf.is_empty() {
+                per_partition[p].push(buf);
+            }
+        }
+    }
+    if workers == 1 || partitions == 1 || wave_records < PARALLEL_MERGE_THRESHOLD {
+        for (group, bufs) in groups.iter_mut().zip(per_partition) {
+            merge_buffers(group, bufs);
+        }
+        return;
+    }
+    type MergeTask<'a, K, V> = (&'a mut Groups<K, V>, Vec<Vec<(K, V)>>);
+    let mut tasks: Vec<MergeTask<'_, K, V>> = groups.iter_mut().zip(per_partition).collect();
+    let per_worker = tasks.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        while !tasks.is_empty() {
+            let chunk: Vec<_> = tasks.drain(..per_worker.min(tasks.len())).collect();
+            scope.spawn(move || {
+                for (group, bufs) in chunk {
+                    merge_buffers(group, bufs);
+                }
+            });
+        }
+    });
+}
+
+fn merge_buffers<K: Hash + Eq, V>(group: &mut Groups<K, V>, bufs: Vec<Vec<(K, V)>>) {
+    for buf in bufs {
+        for (k, v) in buf {
+            group.entry(k).or_default().push(v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -290,14 +511,110 @@ mod tests {
     }
 
     #[test]
-    fn empty_input_gives_empty_output() {
-        let out: Vec<u32> = map_reduce(
-            &MrConfig::default(),
-            &Vec::<u32>::new(),
-            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x, x),
-            |_k, _vs| vec![0u32],
+    fn values_arrive_in_input_order_chunked() {
+        // The chunked shuffle must preserve the same per-key value order:
+        // waves run in input order and worker buffers merge in input order.
+        let inputs: Vec<u32> = (0..5_000).collect();
+        let out = map_reduce(
+            &MrConfig::with_workers(8).with_chunk_records(256),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x % 3, x),
+            |_k, vs| {
+                assert!(vs.windows(2).all(|w| w[0] < w[1]), "values out of order");
+                vec![vs.len()]
+            },
         );
-        assert!(out.is_empty());
+        assert_eq!(out.iter().sum::<usize>(), 5_000);
+    }
+
+    #[test]
+    fn chunked_output_matches_unchunked_exactly() {
+        let docs: Vec<String> = (0..800)
+            .map(|i| format!("w{} w{} shared", i % 17, i % 29))
+            .collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let unchunked = word_count(&MrConfig::with_workers(4), &doc_refs);
+        for chunk in [1usize, 7, 64, 1 << 20] {
+            let chunked = word_count(
+                &MrConfig::with_workers(4).with_chunk_records(chunk),
+                &doc_refs,
+            );
+            // Not just set equality: the partition-then-key output order is
+            // identical, so plain == must hold.
+            assert_eq!(unchunked, chunked, "chunk_records = {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_peak_is_bounded_below_unchunked() {
+        let inputs: Vec<u64> = (0..50_000).collect();
+        let job = |cfg: &MrConfig| {
+            map_reduce_with_stats(
+                cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 513, x),
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+            .1
+        };
+        let unchunked = job(&MrConfig::with_workers(4));
+        assert_eq!(unchunked.peak_resident_records, unchunked.map_output);
+
+        let chunked = job(&MrConfig::with_workers(4).with_chunk_records(2_048));
+        assert_eq!(chunked.map_output, unchunked.map_output);
+        assert!(
+            chunked.peak_resident_records < unchunked.peak_resident_records,
+            "peak {} not below unchunked {}",
+            chunked.peak_resident_records,
+            unchunked.peak_resident_records
+        );
+        // Fan-out here is exactly 1, so the bound is tight up to one wave.
+        assert!(
+            chunked.peak_resident_records <= 2 * 2_048,
+            "peak {} far above the 2048-record quota",
+            chunked.peak_resident_records
+        );
+    }
+
+    #[test]
+    fn partitions_zero_is_clamped() {
+        // Regression: a directly constructed `partitions: 0` (or
+        // `workers: 0`) must be clamped by the engine, not panic with a
+        // modulo-by-zero in the shuffle router.
+        for chunk_records in [0usize, 16] {
+            let cfg = MrConfig {
+                workers: 0,
+                partitions: 0,
+                chunk_records,
+            };
+            let docs = ["a b a", "b c"];
+            let mut out = word_count(&cfg, &docs);
+            out.sort();
+            assert_eq!(
+                out,
+                vec![
+                    ("a".to_string(), 2),
+                    ("b".to_string(), 2),
+                    ("c".to_string(), 1)
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        for cfg in [
+            MrConfig::default(),
+            MrConfig::default().with_chunk_records(64),
+        ] {
+            let out: Vec<u32> = map_reduce(
+                &cfg,
+                &Vec::<u32>::new(),
+                |&x, emit: &mut Emitter<u32, u32>| emit.emit(x, x),
+                |_k, _vs| vec![0u32],
+            );
+            assert!(out.is_empty());
+        }
     }
 
     #[test]
@@ -305,19 +622,24 @@ mod tests {
         // 90% of records share one key — the paper's data-item skew
         // (up to 2.7M extractions for one item).
         let inputs: Vec<u32> = (0..20_000).collect();
-        let out = map_reduce(
-            &MrConfig::with_workers(4),
-            &inputs,
-            |&x, emit: &mut Emitter<u32, u32>| {
-                let key = if x % 10 == 0 { x % 100 } else { 0 };
-                emit.emit(key, x);
-            },
-            |k, vs| vec![(*k, vs.len())],
-        );
-        let total: usize = out.iter().map(|&(_, n)| n).sum();
-        assert_eq!(total, 20_000);
-        let hot = out.iter().find(|&&(k, _)| k == 0).unwrap().1;
-        assert!(hot >= 18_000);
+        for cfg in [
+            MrConfig::with_workers(4),
+            MrConfig::with_workers(4).with_chunk_records(1_000),
+        ] {
+            let out = map_reduce(
+                &cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u32, u32>| {
+                    let key = if x % 10 == 0 { x % 100 } else { 0 };
+                    emit.emit(key, x);
+                },
+                |k, vs| vec![(*k, vs.len())],
+            );
+            let total: usize = out.iter().map(|&(_, n)| n).sum();
+            assert_eq!(total, 20_000);
+            let hot = out.iter().find(|&&(k, _)| k == 0).unwrap().1;
+            assert!(hot >= 18_000);
+        }
     }
 
     #[test]
@@ -336,6 +658,60 @@ mod tests {
         assert_eq!(stats.map_output, 200);
         assert_eq!(stats.reduce_keys, 10); // keys 0..10 (x%5 ⊂ x%10)
         assert_eq!(stats.reduce_output, 200);
+        // Unchunked: the whole shuffle is resident at once.
+        assert_eq!(stats.peak_resident_records, 200);
+    }
+
+    #[test]
+    fn chunked_waves_adapt_to_fanout() {
+        // Each input emits 10 records; the adaptive wave sizing must keep
+        // the peak near the quota instead of 10× above it.
+        let inputs: Vec<u32> = (0..5_000).collect();
+        let (_, stats) = map_reduce_with_stats(
+            &MrConfig::sequential().with_chunk_records(1_000),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| {
+                for j in 0..10 {
+                    emit.emit((x + j) % 97, x);
+                }
+            },
+            |k, vs| vec![(*k, vs.len())],
+        );
+        assert_eq!(stats.map_output, 50_000);
+        // The geometric ramp keeps early waves tiny while the fan-out is
+        // unknown; steady-state waves are sized from the observed fan-out
+        // (~100 inputs → ~1000 records), so the peak stays near the quota
+        // despite the 10× fan-out.
+        assert!(
+            stats.peak_resident_records <= 1_100,
+            "peak {} did not adapt",
+            stats.peak_resident_records
+        );
+    }
+
+    #[test]
+    fn low_emission_prefix_does_not_blow_the_quota() {
+        // First half of the input emits nothing. The fan-out estimate is
+        // floored at 1 (a wave never takes more than `quota` inputs), so
+        // when emissions resume the peak stays at the quota instead of a
+        // huge catch-up wave.
+        let inputs: Vec<u32> = (0..40_000).collect();
+        let (_, stats) = map_reduce_with_stats(
+            &MrConfig::sequential().with_chunk_records(500),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| {
+                if x >= 20_000 {
+                    emit.emit(x % 97, x);
+                }
+            },
+            |k, vs| vec![(*k, vs.len())],
+        );
+        assert_eq!(stats.map_output, 20_000);
+        assert!(
+            stats.peak_resident_records <= 500,
+            "peak {} above the 500-record quota",
+            stats.peak_resident_records
+        );
     }
 
     #[test]

@@ -11,16 +11,24 @@
 //!
 //! * [`map_reduce`] — a generic map → shuffle → reduce execution over
 //!   scoped worker threads with hash partitioning,
+//! * [`MrConfig::chunk_records`] — the **chunked shuffle**: instead of
+//!   materialising the whole map output before reduction, inputs are
+//!   mapped in bounded waves whose buffers merge into reduce-side group
+//!   accumulators as they fill, capping raw shuffle residency near the
+//!   quota (reported as [`JobStats::peak_resident_records`]),
 //! * [`Reservoir`] — the reducer-side uniform sampling the paper uses to cap
 //!   per-key work at `L` records (§4.1 "we sample L triples each time"),
 //! * [`IterativeDriver`] — round iteration with convergence detection and
 //!   forced termination after `R` rounds (§4.1, Fig. 14),
-//! * [`JobStats`] — counters for observability and the scaling benches.
+//! * [`JobStats`] — counters for observability, the scaling benches, and
+//!   the memory-envelope gates.
 //!
 //! The engine is deterministic: given the same inputs, configuration and
 //! (pure) mapper/reducer functions, output order and content are reproducible
-//! regardless of thread interleaving, because records are grouped per
-//! partition and keys are processed in sorted order.
+//! regardless of thread interleaving — and regardless of chunking — because
+//! records are grouped per partition, per-key values arrive in input order,
+//! and keys are processed in sorted order. The chunked-shuffle design is
+//! documented in the repository's `ARCHITECTURE.md`.
 
 pub mod driver;
 pub mod engine;

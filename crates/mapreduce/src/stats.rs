@@ -11,6 +11,11 @@ pub struct JobStats {
     pub reduce_keys: u64,
     /// Records produced by reducers.
     pub reduce_output: u64,
+    /// Peak number of raw (mapper-emitted, not yet grouped) shuffle records
+    /// resident in memory at once. Equals `map_output` for an unchunked
+    /// shuffle; with [`MrConfig::chunk_records`](crate::MrConfig) set it is
+    /// the largest single wave, bounded near the configured quota.
+    pub peak_resident_records: u64,
 }
 
 impl JobStats {
@@ -41,11 +46,14 @@ impl JobStats {
     }
 
     /// Merge counters from another job (for multi-stage pipelines).
+    /// Volume counters add; the residency peak takes the max, because the
+    /// stages of a pipeline run one after another.
     pub fn merge(&mut self, other: &JobStats) {
         self.map_input += other.map_input;
         self.map_output += other.map_output;
         self.reduce_keys += other.reduce_keys;
         self.reduce_output += other.reduce_output;
+        self.peak_resident_records = self.peak_resident_records.max(other.peak_resident_records);
     }
 }
 
@@ -60,6 +68,7 @@ mod tests {
             map_output: 30,
             reduce_keys: 6,
             reduce_output: 6,
+            peak_resident_records: 30,
         };
         assert!((s.fanout() - 3.0).abs() < 1e-12);
         assert!((s.mean_group_size() - 5.0).abs() < 1e-12);
@@ -80,10 +89,32 @@ mod tests {
             map_output: 20,
             reduce_keys: 2,
             reduce_output: 4,
+            peak_resident_records: 20,
         });
         assert_eq!(a.map_input, 15);
         assert_eq!(a.map_output, 20);
         assert_eq!(a.reduce_keys, 2);
         assert_eq!(a.reduce_output, 4);
+        assert_eq!(a.peak_resident_records, 20);
+    }
+
+    #[test]
+    fn merge_takes_peak_maximum() {
+        // Stages run sequentially: the pipeline's peak residency is the
+        // worst stage, not the sum of stages.
+        let mut a = JobStats {
+            peak_resident_records: 50,
+            ..JobStats::new(5)
+        };
+        a.merge(&JobStats {
+            peak_resident_records: 30,
+            ..Default::default()
+        });
+        assert_eq!(a.peak_resident_records, 50);
+        a.merge(&JobStats {
+            peak_resident_records: 80,
+            ..Default::default()
+        });
+        assert_eq!(a.peak_resident_records, 80);
     }
 }

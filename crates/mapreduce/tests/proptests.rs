@@ -22,8 +22,9 @@ proptest! {
         pairs in prop::collection::vec((any::<u16>(), 0u32..1000), 0..300),
         workers in 1usize..9,
         partitions in 1usize..17,
+        chunk_records in 0usize..65,
     ) {
-        let cfg = MrConfig { workers, partitions };
+        let cfg = MrConfig { workers, partitions, chunk_records };
         let out: Vec<(u16, u64)> = map_reduce(
             &cfg,
             &pairs,
@@ -68,6 +69,51 @@ proptest! {
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);
+    }
+
+    /// The chunked shuffle is observationally identical to the unchunked
+    /// one — not just as a multiset: the partition-then-sorted-key output
+    /// order matches exactly, for any chunk quota.
+    #[test]
+    fn chunked_shuffle_matches_unchunked_exactly(
+        pairs in prop::collection::vec((any::<u16>(), any::<u32>()), 0..400),
+        workers in 1usize..9,
+        partitions in 1usize..17,
+        chunk_records in 1usize..130,
+    ) {
+        let base = MrConfig { workers, partitions, chunk_records: 0 };
+        let run = |cfg: &MrConfig| {
+            map_reduce(
+                cfg,
+                &pairs,
+                |&(k, v), emit: &mut Emitter<u16, u32>| emit.emit(k, v),
+                // Keep the raw value list so per-key value *order* is
+                // compared too, not only aggregates.
+                |k, vs| vec![(*k, vs)],
+            )
+        };
+        let unchunked = run(&base);
+        let chunked = run(&MrConfig { chunk_records, ..base });
+        prop_assert_eq!(unchunked, chunked);
+    }
+
+    /// Chunking never raises the raw-residency peak above the unchunked
+    /// baseline, and the peak respects the quota when fan-out is 1.
+    #[test]
+    fn chunked_peak_is_bounded(
+        n in 1usize..500,
+        workers in 1usize..5,
+        chunk_records in 1usize..100,
+    ) {
+        let inputs: Vec<u32> = (0..n as u32).collect();
+        let (_, stats) = kf_mapreduce::map_reduce_with_stats(
+            &MrConfig::with_workers(workers).with_chunk_records(chunk_records),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x % 7, x),
+            |k, vs| vec![(*k, vs.len())],
+        );
+        prop_assert_eq!(stats.map_output, n as u64);
+        prop_assert!(stats.peak_resident_records <= (chunk_records as u64).min(n as u64));
     }
 
     /// Reservoir sample size == min(capacity, n), and sampled items are a

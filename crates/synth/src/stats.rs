@@ -71,7 +71,7 @@ pub struct FunctionalityStats {
 /// overlaps.
 #[derive(Debug, Clone)]
 pub struct ContentTypeStats {
-    /// Unique triples per content type, indexed by [`ContentType::index`].
+    /// Unique triples per content type, indexed by [`ContentType::index`](crate::web::ContentType::index).
     pub per_type: [usize; 4],
     /// Pairwise overlap counts `overlap[i][j]` (i < j).
     pub overlap: [[usize; 4]; 4],

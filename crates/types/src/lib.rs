@@ -27,7 +27,7 @@ pub mod value;
 
 pub use extraction::{Extraction, ExtractionBatch};
 pub use gold::{GoldStandard, Label};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxMixBuildHasher, FxMixHashMap, FxMixHashSet};
 pub use ids::{EntityId, ExtractorId, PageId, PatternId, PredicateId, SiteId, StrId, TypeId};
 pub use intern::Interner;
 pub use provenance::{Granularity, Provenance, ProvenanceKey};
