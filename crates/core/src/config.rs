@@ -181,10 +181,21 @@ impl FusionConfig {
 
     /// Builder-style: set worker parallelism. Adjusts workers and the
     /// partition ratio in place, preserving other engine knobs
-    /// (`chunk_records`).
+    /// (`chunk_records`, `spill_threshold_records`, `spill_dir`).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.mr.workers = workers.max(1);
         self.mr.partitions = workers.max(1) * 4;
+        self
+    }
+
+    /// Builder-style: bound every pipeline round's grouped shuffle
+    /// residency to roughly `records`, spilling partition accumulators to
+    /// sorted run files beyond it (`0` disables spilling). Applies to the
+    /// grouping pass and both fusion stages — output is byte-identical
+    /// with spilling on or off; `FusionOutput::stats` reports
+    /// `peak_grouped_records` / `spilled_bytes` across all rounds.
+    pub fn with_spill_threshold(mut self, records: usize) -> Self {
+        self.mr.spill_threshold_records = records;
         self
     }
 }
@@ -246,10 +257,17 @@ mod tests {
             mr: MrConfig::default().with_chunk_records(1 << 16),
             ..FusionConfig::popaccu()
         }
-        .with_workers(4);
+        .with_workers(4)
+        .with_spill_threshold(1 << 18);
         assert_eq!(c.mr.workers, 4);
         assert_eq!(c.mr.partitions, 16);
         assert_eq!(c.mr.chunk_records, 1 << 16);
+        assert_eq!(c.mr.spill_threshold_records, 1 << 18);
+        // And the other direction: re-tuning workers afterwards must not
+        // zero the spill threshold either.
+        let c = c.with_workers(2);
+        assert_eq!(c.mr.workers, 2);
+        assert_eq!(c.mr.spill_threshold_records, 1 << 18);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! (read-only) by all rounds; only the accuracy array mutates between
 //! rounds.
 
-use kf_mapreduce::{map_reduce, map_reduce_with_stats, Emitter, JobStats, MrConfig};
+use kf_mapreduce::{map_reduce, map_reduce_combined_with_stats, Emitter, JobStats, MrConfig};
 use kf_types::{
     DataItem, Extraction, FxHashMap, FxHashSet, FxMixHashMap, FxMixHashSet, Granularity,
     ProvenanceKey, Triple, Value,
@@ -122,6 +122,17 @@ impl Grouped {
     /// the id space is deterministic — identical to what the historical
     /// registry pre-pass produced ([`Grouped::build_two_pass`]), but each
     /// extraction's key is projected and hashed once instead of twice.
+    ///
+    /// The pass registers a sort-and-deduplicate
+    /// [`Combiner`](kf_mapreduce::Combiner): on the chunked/external
+    /// shuffle path (`MrConfig::chunk_records` /
+    /// `MrConfig::spill_threshold_records`), per-item observation buffers
+    /// are sorted and exact duplicates dropped while waves merge and
+    /// before partitions spill. The reducer re-sorts and deduplicates
+    /// regardless, so output is byte-identical with or without the
+    /// combiner — it only shrinks grouped residency and spilled bytes on
+    /// duplicate-heavy corpora (the same `(triple, provenance)` seen from
+    /// several pages or re-crawls).
     pub fn build_with_stats(
         batch: &[Extraction],
         granularity: Granularity,
@@ -136,7 +147,7 @@ impl Grouped {
         /// n_pages)`, where `start..start + len` indexes the item's flat
         /// packed-key buffer. Dense ids do not exist yet.
         type RawValues = Vec<(Value, u32, u32, u16, u32)>;
-        let (mut raw, stats) = map_reduce_with_stats(
+        let (mut raw, stats) = map_reduce_combined_with_stats(
             mr,
             batch,
             |e: &Extraction, emit: &mut Emitter<DataItem, Obs>| {
@@ -149,6 +160,14 @@ impl Grouped {
                         e.provenance.page.raw(),
                     ),
                 );
+            },
+            // Combiner: exact-duplicate observations collapse early. The
+            // reducer below sorts and deduplicates anyway, so this is a
+            // reducer-invariant rewrite (engine contract) — it only trims
+            // the accumulators and the spill files.
+            |observations: &mut Vec<Obs>| {
+                observations.sort_unstable();
+                observations.dedup();
             },
             |item, mut observations| {
                 // Sort by (value, packed key, …): values come out sorted,
@@ -588,6 +607,55 @@ mod tests {
         // Grouping emits exactly one record per input, so the bound is
         // tight up to one wave.
         assert!(chunk_stats.peak_resident_records <= 1_024);
+    }
+
+    #[test]
+    fn spilled_build_matches_in_memory_with_bounded_grouped_peak() {
+        let batch: Vec<Extraction> = (0..4_000)
+            .map(|i| ext(i % 37, i % 4, i % 11, (i % 8) as u16, i % 250))
+            .collect();
+        let mr = MrConfig::with_workers(4);
+        let (in_memory, base_stats) =
+            Grouped::build_with_stats(&batch, Granularity::ExtractorPage, &mr);
+        // Without spilling, every grouped observation waits in memory.
+        assert_eq!(base_stats.peak_grouped_records, batch.len() as u64);
+        assert_eq!(base_stats.spilled_bytes, 0);
+
+        let spill_mr = mr.with_chunk_records(256).with_spill_threshold(1_024);
+        let (spilled, spill_stats) =
+            Grouped::build_with_stats(&batch, Granularity::ExtractorPage, &spill_mr);
+        assert_eq!(in_memory, spilled, "spilled grouping must be identical");
+        assert!(spill_stats.spilled_bytes > 0, "disk path not exercised");
+        // Grouping emits one record per extraction and every wave (≤ 512)
+        // fits under the threshold, so the pre-merge spill holds the line.
+        assert!(
+            spill_stats.peak_grouped_records <= 1_024,
+            "grouped peak {} above the 1024-record threshold",
+            spill_stats.peak_grouped_records
+        );
+    }
+
+    #[test]
+    fn combiner_shrinks_duplicate_heavy_shuffles() {
+        // The same (triple, provenance) extracted 50×: the dedup combiner
+        // collapses the duplicates while waves merge, so grouped residency
+        // stays near the number of *distinct* observations.
+        let batch: Vec<Extraction> = (0..5_000).map(|i| ext(i % 5, 1, 1, 0, i % 2)).collect();
+        let (in_memory, _) =
+            Grouped::build_with_stats(&batch, Granularity::ExtractorPage, &MrConfig::sequential());
+        let (combined, stats) = Grouped::build_with_stats(
+            &batch,
+            Granularity::ExtractorPage,
+            &MrConfig::sequential().with_chunk_records(200),
+        );
+        assert_eq!(in_memory, combined);
+        // 10 distinct (item, value, prov) observations; without combining
+        // the grouped peak would be the full 5,000.
+        assert!(
+            stats.peak_grouped_records < 500,
+            "dedup combiner did not shrink the accumulators (peak {})",
+            stats.peak_grouped_records
+        );
     }
 
     #[test]

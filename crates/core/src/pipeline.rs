@@ -293,6 +293,14 @@ impl Fuser {
     /// Stage II: re-estimate provenance accuracies as the mean probability
     /// of (a sample of) their triples. Returns the mean absolute accuracy
     /// change.
+    ///
+    /// Deliberately runs **without** a combiner: the reducer reservoir-
+    /// samples its values and accumulates `f64`s, both of which are
+    /// order-sensitive, so partial pre-reduction would change the bytes
+    /// of the output (see the determinism ledger in `ARCHITECTURE.md`).
+    /// The external shuffle (`MrConfig::spill_threshold_records`) still
+    /// bounds this stage's grouped residency by spilling the full value
+    /// lists and replaying them in input order.
     fn stage_two(
         &self,
         grouped: &mut Grouped,
@@ -645,6 +653,55 @@ mod tests {
         let map_small = small.probability_map();
         for (t, p) in &map_big {
             assert!((p - map_small[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spilled_pipeline_is_byte_identical_with_bounded_grouped_peak() {
+        // The whole 5-round pipeline (grouping + Stages I/II per round)
+        // with the external shuffle on must reproduce the in-memory run
+        // exactly — including per-slot probabilities, which depend on
+        // value order through reservoir sampling and f64 accumulation —
+        // while `JobStats` proves the grouped envelope held.
+        let batch: ExtractionBatch = (0..3000)
+            .map(|i| ext(i % 120, i % 3, i % 6, (i % 7) as u16, i % 400))
+            .collect();
+        for cfg in [
+            FusionConfig::vote(),
+            FusionConfig::popaccu(),
+            FusionConfig::popaccu_plus_unsup(),
+        ] {
+            let base = seq(cfg).run(&batch, None);
+            assert_eq!(base.stats.spilled_bytes, 0);
+            let threshold = 512usize;
+            let spilled = Fuser::new(FusionConfig {
+                mr: MrConfig::sequential()
+                    .with_chunk_records(128)
+                    .with_spill_threshold(threshold),
+                ..cfg
+            })
+            .run(&batch, None);
+            assert_eq!(base.scored.len(), spilled.scored.len());
+            for (a, b) in base.scored.iter().zip(&spilled.scored) {
+                assert_eq!(a.triple, b.triple);
+                assert_eq!(a.probability, b.probability, "for {:?}", a.triple);
+                assert_eq!(a.fallback, b.fallback);
+            }
+            assert_eq!(base.round_deltas, spilled.round_deltas);
+            assert!(
+                spilled.stats.spilled_bytes > 0,
+                "{:?}: disk path not exercised",
+                cfg.method
+            );
+            // Every wave (≤ ~2×128 records) fits under the threshold, so
+            // no round's grouped residency may cross it.
+            assert!(
+                spilled.stats.peak_grouped_records <= threshold as u64,
+                "{:?}: grouped peak {} above the {} threshold",
+                cfg.method,
+                spilled.stats.peak_grouped_records,
+                threshold
+            );
         }
     }
 

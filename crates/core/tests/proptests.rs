@@ -136,6 +136,34 @@ proptest! {
         prop_assert_eq!(&reference, &two_pass);
     }
 
+    /// The external shuffle — spilled run files, k-way merged, with the
+    /// dedup combiner active — builds exactly the same `Grouped` as the
+    /// fully in-memory path, for any corpus shape, worker count, chunk
+    /// quota and spill threshold (order included: `Grouped` equality
+    /// covers item order, value order and dense provenance ids).
+    #[test]
+    fn grouping_is_invariant_to_spilling(
+        batch in arb_batch(),
+        workers in 1usize..7,
+        chunk_records in 1usize..100,
+        spill_threshold in 1usize..200,
+    ) {
+        for granularity in [
+            Granularity::ExtractorPage,
+            Granularity::ExtractorSitePredicatePattern,
+        ] {
+            let reference = Grouped::build(&batch, granularity, &MrConfig::sequential());
+            let spilled = Grouped::build(
+                &batch,
+                granularity,
+                &MrConfig::with_workers(workers)
+                    .with_chunk_records(chunk_records)
+                    .with_spill_threshold(spill_threshold),
+            );
+            prop_assert_eq!(&reference, &spilled, "granularity {:?}", granularity);
+        }
+    }
+
     /// The chunked grouping peak respects the quota (grouping emits one
     /// record per extraction) while the unchunked peak is the whole batch.
     #[test]

@@ -1,6 +1,6 @@
 //! The map → shuffle → reduce execution engine.
 //!
-//! Two shuffle strategies share one reduce phase:
+//! Three shuffle strategies share one reduce phase:
 //!
 //! * **Unchunked** (`chunk_records == 0`, the default): the whole map
 //!   output is materialised in per-partition buffers before any grouping
@@ -12,19 +12,28 @@
 //!   per-partition reduce-side group accumulators and freed. Peak
 //!   raw-record residency is the largest single wave
 //!   ([`JobStats::peak_resident_records`]), not the whole shuffle.
+//! * **External** (`spill_threshold_records > 0`): the chunked shuffle
+//!   additionally bounds the *grouped* residency. An optional
+//!   [`Combiner`] partially reduces group accumulators as waves merge,
+//!   and when the grouped records resident across all partitions would
+//!   cross the threshold, partitions spill to sorted run files (encoded
+//!   with [`kf_types::KvCodec`], see the `spill` module) and reduce by a
+//!   k-way merge of runs. [`JobStats::peak_grouped_records`] and
+//!   [`JobStats::spilled_bytes`] report the envelope.
 //!
-//! Both paths are deterministic and produce identical output: waves are
+//! All paths are deterministic and produce identical output: waves are
 //! processed in input order and, within a wave, worker buffers are merged
 //! in worker order (workers own contiguous input chunks), so a key's
-//! values always reach the reducer ordered by input index. Chunking bounds
-//! the raw shuffle copy only — grouped values still accumulate in memory
-//! until their key is reduced; spill-to-disk partitions are the next step
-//! (see ROADMAP.md).
+//! values always reach the reducer ordered by input index — and spilled
+//! runs replay in spill order, which preserves exactly that order. The
+//! design is documented in the repository's `ARCHITECTURE.md`.
 
+use crate::spill::{merge_reduce_runs, write_run, SpillDir};
 use crate::stats::JobStats;
 use kf_types::hash::hash_one;
-use kf_types::FxHashMap;
+use kf_types::{FxHashMap, KvCodec};
 use std::hash::Hash;
+use std::path::PathBuf;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +51,36 @@ pub struct MrConfig {
     /// wave may overshoot when the mapper fan-out spikes, and a single
     /// input's emissions are never split across waves.
     pub chunk_records: usize,
+    /// Soft cap on *grouped* records resident across all partition
+    /// accumulators at once — the external shuffle. `0` disables
+    /// spilling (grouped values accumulate in memory until reduced, the
+    /// historical behaviour); like the `partitions: 0` clamp, a directly
+    /// constructed `0` is safe and simply means "never spill". When the
+    /// threshold would be crossed by merging the next wave, every
+    /// non-empty partition serializes its accumulator to a sorted run
+    /// file and frees the memory; the partition later reduces by k-way
+    /// merging its runs. Requires a chunked shuffle: when
+    /// `chunk_records == 0`, the engine chunks at this threshold. The cap
+    /// is respected exactly as long as a single wave fits it (i.e.
+    /// `chunk_records <= spill_threshold_records`); a single oversized
+    /// wave can overshoot, because waves never split.
+    ///
+    /// Output is byte-identical with spilling on or off; see
+    /// [`JobStats::peak_grouped_records`] / [`JobStats::spilled_bytes`]
+    /// for the observed envelope.
+    pub spill_threshold_records: usize,
+    /// Directory under which spill runs are written (in a job-scoped
+    /// subdirectory that is removed when the job finishes, including on
+    /// panic). `None` uses the OS temp dir; point it at a scratch disk
+    /// when spilling heavily.
+    ///
+    /// `&'static str` keeps `MrConfig` (and the `FusionConfig` embedding
+    /// it) `Copy`, which the workspace passes by value everywhere. For a
+    /// path computed at runtime, leak it once per *distinct* scratch dir
+    /// (`Box::leak(path.into_boxed_str())`) — a process configures a
+    /// handful of scratch disks at most, so the leak is bounded; don't
+    /// leak per job.
+    pub spill_dir: Option<&'static str>,
 }
 
 impl Default for MrConfig {
@@ -53,6 +92,8 @@ impl Default for MrConfig {
             workers,
             partitions: workers * 4,
             chunk_records: 0,
+            spill_threshold_records: 0,
+            spill_dir: None,
         }
     }
 }
@@ -64,7 +105,7 @@ impl MrConfig {
         MrConfig {
             workers: 1,
             partitions: 1,
-            chunk_records: 0,
+            ..Default::default()
         }
     }
 
@@ -73,7 +114,7 @@ impl MrConfig {
         MrConfig {
             workers: workers.max(1),
             partitions: workers.max(1) * 4,
-            chunk_records: 0,
+            ..Default::default()
         }
     }
 
@@ -83,7 +124,94 @@ impl MrConfig {
         self.chunk_records = chunk_records;
         self
     }
+
+    /// Builder-style: bound grouped residency to roughly `records`,
+    /// spilling partition accumulators to disk beyond it (`0` disables
+    /// spilling).
+    ///
+    /// ```
+    /// use kf_mapreduce::MrConfig;
+    ///
+    /// // ~64K raw records per wave, spill grouped state past ~256K.
+    /// let cfg = MrConfig::with_workers(4)
+    ///     .with_chunk_records(1 << 16)
+    ///     .with_spill_threshold(1 << 18);
+    /// assert_eq!(cfg.spill_threshold_records, 1 << 18);
+    /// ```
+    pub fn with_spill_threshold(mut self, records: usize) -> Self {
+        self.spill_threshold_records = records;
+        self
+    }
+
+    /// Builder-style: write spill runs under `dir` instead of the OS temp
+    /// dir (e.g. a dedicated scratch disk).
+    pub fn with_spill_dir(mut self, dir: &'static str) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
 }
+
+/// Partial reduction applied to group accumulators while the shuffle is
+/// still running — the classic MapReduce combiner, adapted to this
+/// engine's reduce-side accumulation: it rewrites a group's value buffer
+/// in place (typically folding many records into few) as chunked waves
+/// merge and immediately before a partition spills to disk.
+///
+/// # Contract
+///
+/// The reducer must produce **identical output** from a combined buffer
+/// and from the raw one — combining must be a reducer-invariant rewrite.
+/// That holds for associative, order-insensitive folds over the values
+/// (integer counts and sums, min/max, sort-and-deduplicate) but *not* for
+/// order-sensitive reductions (floating-point accumulation, reservoir
+/// sampling): for those, don't combine. The engine only runs combiners on
+/// the chunked/external path, so the in-memory baseline
+/// (`chunk_records == 0`, no spill) always shows the reference output to
+/// compare against; the crate's proptests pin the equality.
+///
+/// Closures implement the trait directly:
+///
+/// ```
+/// use kf_mapreduce::{map_reduce_combined, Emitter, MrConfig};
+///
+/// let docs = ["a b a", "b a", "a"];
+/// let counts: Vec<(String, u64)> = map_reduce_combined(
+///     &MrConfig::sequential().with_chunk_records(2),
+///     &docs,
+///     |doc: &&str, emit: &mut Emitter<String, u64>| {
+///         for word in doc.split_whitespace() {
+///             emit.emit(word.to_string(), 1);
+///         }
+///     },
+///     // Combiner: fold partial counts into one.
+///     |counts: &mut Vec<u64>| {
+///         let sum: u64 = counts.drain(..).sum();
+///         counts.push(sum);
+///     },
+///     // Reducer: total the (possibly pre-combined) counts.
+///     |word, counts| vec![(word.clone(), counts.iter().sum::<u64>())],
+/// );
+/// assert!(counts.contains(&("a".to_string(), 4)));
+/// ```
+pub trait Combiner<V>: Sync {
+    /// Rewrite `values` in place to a smaller reducer-equivalent buffer.
+    fn combine(&self, values: &mut Vec<V>);
+}
+
+impl<V, F> Combiner<V> for F
+where
+    F: Fn(&mut Vec<V>) + Sync,
+{
+    #[inline]
+    fn combine(&self, values: &mut Vec<V>) {
+        self(values)
+    }
+}
+
+/// A group's value buffer is combined when it reaches this many records
+/// (and again at each doubling, so combine work stays amortized-linear
+/// even for incompressible buffers).
+const COMBINE_TRIGGER: usize = 64;
 
 /// Collects `(key, value)` records emitted by a mapper and routes them to
 /// shuffle partitions by key hash.
@@ -120,6 +248,9 @@ enum Partition<K, V> {
     Raw(Vec<(K, V)>),
     /// Chunked: records already merged into groups wave by wave.
     Grouped(Groups<K, V>),
+    /// External: the partition spilled; reduce by k-way merging its
+    /// sorted run files (in spill order).
+    Spilled(Vec<PathBuf>),
 }
 
 /// Run a MapReduce job.
@@ -133,17 +264,18 @@ enum Partition<K, V> {
 ///
 /// Output records are returned grouped by partition and sorted by key within
 /// each partition, so the overall output is deterministic — and identical
-/// whether or not the shuffle is chunked ([`MrConfig::chunk_records`]).
+/// whether the shuffle is unchunked, chunked ([`MrConfig::chunk_records`]),
+/// or spilled to disk ([`MrConfig::spill_threshold_records`]).
 pub fn map_reduce<I, K, V, O, M, R>(cfg: &MrConfig, inputs: &[I], mapper: M, reducer: R) -> Vec<O>
 where
     I: Sync,
-    K: Hash + Eq + Ord + Send,
-    V: Send,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
     O: Send,
     M: Fn(&I, &mut Emitter<K, V>) + Sync,
     R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
 {
-    map_reduce_with_stats(cfg, inputs, mapper, reducer).0
+    run_job(cfg, inputs, mapper, None, reducer).0
 }
 
 /// [`map_reduce`] variant that also returns execution counters.
@@ -155,8 +287,85 @@ pub fn map_reduce_with_stats<I, K, V, O, M, R>(
 ) -> (Vec<O>, JobStats)
 where
     I: Sync,
-    K: Hash + Eq + Ord + Send,
-    V: Send,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    run_job(cfg, inputs, mapper, None, reducer)
+}
+
+/// [`map_reduce`] with a [`Combiner`] partially reducing group
+/// accumulators on the chunked/external shuffle path. With
+/// `chunk_records == 0` and spilling disabled the combiner never runs
+/// (there are no waves to combine between) and the job behaves exactly
+/// like [`map_reduce`].
+pub fn map_reduce_combined<I, K, V, O, M, C, R>(
+    cfg: &MrConfig,
+    inputs: &[I],
+    mapper: M,
+    combiner: C,
+    reducer: R,
+) -> Vec<O>
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    C: Combiner<V>,
+    R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    run_job(cfg, inputs, mapper, Some(&combiner), reducer).0
+}
+
+/// [`map_reduce_combined`] variant that also returns execution counters.
+pub fn map_reduce_combined_with_stats<I, K, V, O, M, C, R>(
+    cfg: &MrConfig,
+    inputs: &[I],
+    mapper: M,
+    combiner: C,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    C: Combiner<V>,
+    R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+{
+    run_job(cfg, inputs, mapper, Some(&combiner), reducer)
+}
+
+/// What the shuffle phase hands to the reduce phase.
+struct ShuffleOutcome<K, V> {
+    partitions: Vec<Partition<K, V>>,
+    map_output: u64,
+    /// Peak raw (mapper-emitted, ungrouped) records resident at once.
+    peak_raw: u64,
+    /// Peak grouped records resident across all accumulators at once.
+    peak_grouped: u64,
+    spilled_bytes: u64,
+    /// Keeps the spill directory (and its run files) alive until the
+    /// reduce phase has merged them; dropping it removes everything.
+    spill_dir: Option<SpillDir>,
+}
+
+/// The engine behind every public entry point.
+fn run_job<I, K, V, O, M, R>(
+    cfg: &MrConfig,
+    inputs: &[I],
+    mapper: M,
+    combiner: Option<&dyn Combiner<V>>,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
     O: Send,
     M: Fn(&I, &mut Emitter<K, V>) + Sync,
     R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
@@ -166,19 +375,46 @@ where
     let mut stats = JobStats::new(inputs.len() as u64);
 
     // ---- Map + shuffle ---------------------------------------------------
-    let payloads: Vec<Partition<K, V>> = if cfg.chunk_records == 0 {
-        let (records, map_output) = shuffle_unchunked(inputs, workers, partitions, &mapper);
-        stats.map_output = map_output;
-        // The whole raw shuffle is resident at once.
-        stats.peak_resident_records = map_output;
-        records.into_iter().map(Partition::Raw).collect()
+    // Spilling needs wave-merged accumulators to snapshot, so it implies a
+    // chunked shuffle; without an explicit quota, chunk at the spill
+    // threshold itself.
+    let quota = if cfg.chunk_records > 0 {
+        cfg.chunk_records
     } else {
-        let (groups, map_output, peak) =
-            shuffle_chunked(inputs, workers, partitions, cfg.chunk_records, &mapper);
-        stats.map_output = map_output;
-        stats.peak_resident_records = peak;
-        groups.into_iter().map(Partition::Grouped).collect()
+        cfg.spill_threshold_records
     };
+    let outcome = if quota == 0 {
+        let (records, map_output) = shuffle_unchunked(inputs, workers, partitions, &mapper);
+        ShuffleOutcome {
+            partitions: records.into_iter().map(Partition::Raw).collect(),
+            map_output,
+            // The whole raw shuffle is resident at once, and the reduce
+            // phase groups it wholesale.
+            peak_raw: map_output,
+            peak_grouped: map_output,
+            spilled_bytes: 0,
+            spill_dir: None,
+        }
+    } else {
+        shuffle_external(
+            inputs,
+            workers,
+            partitions,
+            quota,
+            cfg.spill_threshold_records,
+            cfg.spill_dir,
+            combiner,
+            &mapper,
+        )
+    };
+    stats.map_output = outcome.map_output;
+    stats.peak_resident_records = outcome.peak_raw;
+    stats.peak_grouped_records = outcome.peak_grouped;
+    stats.spilled_bytes = outcome.spilled_bytes;
+    // Bind the guard so run files survive until reduction finishes; the
+    // drop at the end of this function (or during a panic unwind) removes
+    // the spill directory.
+    let _spill_dir = outcome.spill_dir;
 
     // ---- Reduce phase ----------------------------------------------------
     // Workers steal whole partitions off a shared index. Keys are reduced in
@@ -189,7 +425,8 @@ where
     // takes each partition; contention is one lock acquisition per
     // partition, not per record.
     type PartitionSlot<K, V> = std::sync::Mutex<Option<Partition<K, V>>>;
-    let partition_slots: Vec<PartitionSlot<K, V>> = payloads
+    let partition_slots: Vec<PartitionSlot<K, V>> = outcome
+        .partitions
         .into_iter()
         .map(|p| std::sync::Mutex::new(Some(p)))
         .collect();
@@ -214,10 +451,17 @@ where
                             .take()
                             .expect("partition taken twice");
                         let groups = match payload {
+                            Partition::Spilled(runs) => {
+                                // Runs are key-sorted; the streaming merge
+                                // reduces directly.
+                                let (out, n_keys) = merge_reduce_runs(&runs, reducer);
+                                local.push((p, out, n_keys));
+                                continue;
+                            }
                             Partition::Grouped(groups) => groups,
                             Partition::Raw(records) => {
                                 let mut groups: Groups<K, V> = FxHashMap::default();
-                                merge_buffers(&mut groups, vec![records]);
+                                merge_buffers(&mut groups, vec![records], None);
                                 groups
                             }
                         };
@@ -322,29 +566,42 @@ where
     (partition_records, map_output)
 }
 
-/// Wave-based shuffle: map bounded input waves, merging each wave's buffers
-/// into per-partition group accumulators as they fill, so at most roughly
-/// `quota` raw records are resident at once. Wave sizes adapt to the
-/// observed mapper fan-out. Returns
-/// `(per-partition groups, map_output, peak resident raw records)`.
-fn shuffle_chunked<I, K, V, M>(
+/// Wave-based shuffle with optional combining and spilling: map bounded
+/// input waves, merging each wave's buffers into per-partition group
+/// accumulators as they fill (so at most roughly `quota` raw records are
+/// resident at once), combining group buffers as they grow, and spilling
+/// all accumulators to sorted run files whenever merging the next wave
+/// would push grouped residency past `spill_threshold` (`0` = never).
+/// Wave sizes adapt to the observed mapper fan-out.
+#[allow(clippy::too_many_arguments)]
+fn shuffle_external<I, K, V, M>(
     inputs: &[I],
     workers: usize,
     partitions: usize,
     quota: usize,
+    spill_threshold: usize,
+    spill_base: Option<&'static str>,
+    combiner: Option<&dyn Combiner<V>>,
     mapper: &M,
-) -> (Vec<Groups<K, V>>, u64, u64)
+) -> ShuffleOutcome<K, V>
 where
     I: Sync,
-    K: Hash + Eq + Send,
-    V: Send,
+    K: Hash + Eq + Ord + Send + KvCodec,
+    V: Send + KvCodec,
     M: Fn(&I, &mut Emitter<K, V>) + Sync,
 {
     let quota = quota.max(1);
     let mut groups: Vec<Groups<K, V>> = (0..partitions).map(|_| FxHashMap::default()).collect();
+    let mut runs: Vec<Vec<PathBuf>> = (0..partitions).map(|_| Vec::new()).collect();
+    // Created lazily on the first spill, so jobs that stay under the
+    // threshold never touch the filesystem.
+    let mut spill_dir: Option<SpillDir> = None;
+    let mut spilled_bytes = 0u64;
+    let mut resident = 0u64; // grouped records currently accumulated
+    let mut peak_grouped = 0u64;
     let mut consumed = 0usize;
     let mut emitted_total = 0u64;
-    let mut peak = 0u64;
+    let mut peak_raw = 0u64;
     let mut last_wave = (0usize, 0u64);
     while consumed < inputs.len() {
         // Two rules size each wave:
@@ -373,20 +630,116 @@ where
         let wave = &inputs[consumed..consumed + wave_len];
         let emitters = map_slice(wave, workers, partitions, mapper);
         let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
-        peak = peak.max(wave_emitted);
+        peak_raw = peak_raw.max(wave_emitted);
         emitted_total += wave_emitted;
         consumed += wave_len;
         last_wave = (wave_len, wave_emitted);
-        merge_wave(emitters, &mut groups, workers);
+        // Spill BEFORE the merge that would cross the threshold, so the
+        // grouped residency never exceeds it (as long as a single wave
+        // fits under the threshold — waves never split).
+        if spill_threshold > 0 && resident > 0 && resident + wave_emitted > spill_threshold as u64 {
+            let dir = spill_dir.get_or_insert_with(|| SpillDir::create(spill_base));
+            spilled_bytes += spill_partitions(&mut groups, &mut runs, dir, combiner);
+            resident = 0;
+        }
+        let delta = merge_wave(emitters, &mut groups, workers, combiner);
+        resident = resident.saturating_add_signed(delta);
+        peak_grouped = peak_grouped.max(resident);
     }
-    (groups, emitted_total, peak)
+
+    // A partition that ever spilled flushes its in-memory tail as one
+    // final run (the latest input, so it merges last); partitions that
+    // never spilled reduce from memory.
+    let partitions_out: Vec<Partition<K, V>> = groups
+        .into_iter()
+        .zip(runs)
+        .enumerate()
+        .map(|(p, (group, mut run_files))| {
+            if run_files.is_empty() {
+                Partition::Grouped(group)
+            } else {
+                if !group.is_empty() {
+                    let dir = spill_dir.as_ref().expect("runs exist without a spill dir");
+                    let (path, bytes) = spill_one(group, dir, p, run_files.len(), combiner);
+                    spilled_bytes += bytes;
+                    run_files.push(path);
+                }
+                Partition::Spilled(run_files)
+            }
+        })
+        .collect();
+
+    ShuffleOutcome {
+        partitions: partitions_out,
+        map_output: emitted_total,
+        peak_raw,
+        peak_grouped,
+        spilled_bytes,
+        spill_dir,
+    }
+}
+
+/// Spill every non-empty partition accumulator to a sorted run file,
+/// leaving all accumulators empty. Returns the bytes written.
+fn spill_partitions<K, V>(
+    groups: &mut [Groups<K, V>],
+    runs: &mut [Vec<PathBuf>],
+    dir: &SpillDir,
+    combiner: Option<&dyn Combiner<V>>,
+) -> u64
+where
+    K: Hash + Eq + Ord + KvCodec,
+    V: KvCodec,
+{
+    let mut bytes = 0u64;
+    for (p, group) in groups.iter_mut().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let (path, run_bytes) = spill_one(std::mem::take(group), dir, p, runs[p].len(), combiner);
+        bytes += run_bytes;
+        runs[p].push(path);
+    }
+    bytes
+}
+
+/// Sort, (re-)combine and write one partition accumulator as a run file.
+fn spill_one<K, V>(
+    group: Groups<K, V>,
+    dir: &SpillDir,
+    partition: usize,
+    seq: usize,
+    combiner: Option<&dyn Combiner<V>>,
+) -> (PathBuf, u64)
+where
+    K: Hash + Eq + Ord + KvCodec,
+    V: KvCodec,
+{
+    let mut sorted: Vec<(K, Vec<V>)> = group.into_iter().collect();
+    sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    if let Some(c) = combiner {
+        // One last squeeze before paying for the bytes.
+        for (_, values) in &mut sorted {
+            c.combine(values);
+        }
+    }
+    let path = dir.run_path(partition, seq);
+    let bytes = write_run(&path, &sorted);
+    (path, bytes)
 }
 
 /// Drain one wave's emitter buffers into the per-partition group
 /// accumulators. Buffers are appended in worker order, preserving per-key
 /// input order; partitions are merged in parallel (each partition is owned
-/// by exactly one merge task, so no locks).
-fn merge_wave<K, V>(emitters: Vec<Emitter<K, V>>, groups: &mut [Groups<K, V>], workers: usize)
+/// by exactly one merge task, so no locks). Returns the net change in
+/// grouped records resident (additions minus records folded away by the
+/// combiner).
+fn merge_wave<K, V>(
+    emitters: Vec<Emitter<K, V>>,
+    groups: &mut [Groups<K, V>],
+    workers: usize,
+    combiner: Option<&dyn Combiner<V>>,
+) -> i64
 where
     K: Hash + Eq + Send,
     V: Send,
@@ -406,32 +759,59 @@ where
         }
     }
     if workers == 1 || partitions == 1 || wave_records < PARALLEL_MERGE_THRESHOLD {
+        let mut delta = 0i64;
         for (group, bufs) in groups.iter_mut().zip(per_partition) {
-            merge_buffers(group, bufs);
+            delta += merge_buffers(group, bufs, combiner);
         }
-        return;
+        return delta;
     }
     type MergeTask<'a, K, V> = (&'a mut Groups<K, V>, Vec<Vec<(K, V)>>);
     let mut tasks: Vec<MergeTask<'_, K, V>> = groups.iter_mut().zip(per_partition).collect();
     let per_worker = tasks.len().div_ceil(workers).max(1);
+    let mut delta = 0i64;
     std::thread::scope(|scope| {
+        let mut handles = Vec::new();
         while !tasks.is_empty() {
             let chunk: Vec<_> = tasks.drain(..per_worker.min(tasks.len())).collect();
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
+                let mut local = 0i64;
                 for (group, bufs) in chunk {
-                    merge_buffers(group, bufs);
+                    local += merge_buffers(group, bufs, combiner);
                 }
-            });
+                local
+            }));
+        }
+        for h in handles {
+            delta += h.join().expect("merge worker panicked");
         }
     });
+    delta
 }
 
-fn merge_buffers<K: Hash + Eq, V>(group: &mut Groups<K, V>, bufs: Vec<Vec<(K, V)>>) {
+/// Append raw buffers into a group accumulator, combining any group whose
+/// buffer reaches a power-of-two length ≥ [`COMBINE_TRIGGER`]. Returns
+/// the net change in resident records.
+fn merge_buffers<K: Hash + Eq, V>(
+    group: &mut Groups<K, V>,
+    bufs: Vec<Vec<(K, V)>>,
+    combiner: Option<&dyn Combiner<V>>,
+) -> i64 {
+    let mut delta = 0i64;
     for buf in bufs {
         for (k, v) in buf {
-            group.entry(k).or_default().push(v);
+            let values = group.entry(k).or_default();
+            values.push(v);
+            delta += 1;
+            if let Some(c) = combiner {
+                let len = values.len();
+                if len >= COMBINE_TRIGGER && len.is_power_of_two() {
+                    c.combine(values);
+                    delta += values.len() as i64 - len as i64;
+                }
+            }
         }
     }
+    delta
 }
 
 #[cfg(test)]
@@ -528,6 +908,26 @@ mod tests {
     }
 
     #[test]
+    fn values_arrive_in_input_order_spilled() {
+        // Spilled runs replay in spill order, which is input order — the
+        // reducer must observe exactly the same per-key value order.
+        let inputs: Vec<u32> = (0..5_000).collect();
+        let (out, stats) = map_reduce_with_stats(
+            &MrConfig::with_workers(8)
+                .with_chunk_records(256)
+                .with_spill_threshold(512),
+            &inputs,
+            |&x, emit: &mut Emitter<u32, u32>| emit.emit(x % 3, x),
+            |_k, vs| {
+                assert!(vs.windows(2).all(|w| w[0] < w[1]), "values out of order");
+                vec![vs.len()]
+            },
+        );
+        assert_eq!(out.iter().sum::<usize>(), 5_000);
+        assert!(stats.spilled_bytes > 0, "spill path was not exercised");
+    }
+
+    #[test]
     fn chunked_output_matches_unchunked_exactly() {
         let docs: Vec<String> = (0..800)
             .map(|i| format!("w{} w{} shared", i % 17, i % 29))
@@ -546,7 +946,23 @@ mod tests {
     }
 
     #[test]
-    fn chunked_peak_is_bounded_below_unchunked() {
+    fn spilled_output_matches_in_memory_exactly() {
+        let docs: Vec<String> = (0..800)
+            .map(|i| format!("w{} w{} shared", i % 17, i % 29))
+            .collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let in_memory = word_count(&MrConfig::with_workers(4), &doc_refs);
+        for (chunk, spill) in [(64usize, 128usize), (32, 32), (128, 1 << 20), (0, 200)] {
+            let cfg = MrConfig::with_workers(4)
+                .with_chunk_records(chunk)
+                .with_spill_threshold(spill);
+            let spilled = word_count(&cfg, &doc_refs);
+            assert_eq!(in_memory, spilled, "chunk={chunk} spill={spill}");
+        }
+    }
+
+    #[test]
+    fn spill_bounds_grouped_residency() {
         let inputs: Vec<u64> = (0..50_000).collect();
         let job = |cfg: &MrConfig| {
             map_reduce_with_stats(
@@ -555,25 +971,221 @@ mod tests {
                 |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 513, x),
                 |k, vs| vec![(*k, vs.iter().sum::<u64>())],
             )
-            .1
         };
-        let unchunked = job(&MrConfig::with_workers(4));
-        assert_eq!(unchunked.peak_resident_records, unchunked.map_output);
+        let (base_out, base) = job(&MrConfig::with_workers(4));
+        // In memory, every grouped record is resident at reduce time.
+        assert_eq!(base.peak_grouped_records, base.map_output);
+        assert_eq!(base.spilled_bytes, 0);
 
-        let chunked = job(&MrConfig::with_workers(4).with_chunk_records(2_048));
-        assert_eq!(chunked.map_output, unchunked.map_output);
+        let threshold = 8_192u64;
+        let (out, stats) = job(&MrConfig::with_workers(4)
+            .with_chunk_records(2_048)
+            .with_spill_threshold(threshold as usize));
+        assert_eq!(base_out, out, "spilled output must be byte-identical");
+        assert!(stats.spilled_bytes > 0);
+        // A wave (≤ ~2×2048) always fits under the 8192 threshold, so the
+        // pre-merge spill keeps grouped residency at or under it.
         assert!(
-            chunked.peak_resident_records < unchunked.peak_resident_records,
-            "peak {} not below unchunked {}",
-            chunked.peak_resident_records,
-            unchunked.peak_resident_records
+            stats.peak_grouped_records <= threshold,
+            "grouped peak {} above the {} threshold",
+            stats.peak_grouped_records,
+            threshold
         );
-        // Fan-out here is exactly 1, so the bound is tight up to one wave.
+        assert!(stats.peak_grouped_records > 0);
+    }
+
+    #[test]
+    fn combiner_folds_counts_without_changing_output() {
+        let inputs: Vec<u64> = (0..20_000).collect();
+        let mapper = |&x: &u64, emit: &mut Emitter<u64, u64>| emit.emit(x % 7, 1);
+        let reducer = |k: &u64, vs: Vec<u64>| vec![(*k, vs.iter().sum::<u64>())];
+        let (base_out, base) =
+            map_reduce_with_stats(&MrConfig::with_workers(4), &inputs, mapper, reducer);
+
+        let cfg = MrConfig::with_workers(4).with_chunk_records(1_024);
+        let combine = |vs: &mut Vec<u64>| {
+            let sum: u64 = vs.drain(..).sum();
+            vs.push(sum);
+        };
+        let (out, stats) = map_reduce_combined_with_stats(&cfg, &inputs, mapper, combine, reducer);
+        assert_eq!(base_out, out);
+        // 7 hot keys × 20k records: combining must collapse the grouped
+        // residency far below the uncombined total.
         assert!(
-            chunked.peak_resident_records <= 2 * 2_048,
-            "peak {} far above the 2048-record quota",
-            chunked.peak_resident_records
+            stats.peak_grouped_records < base.peak_grouped_records / 10,
+            "combined grouped peak {} vs uncombined {}",
+            stats.peak_grouped_records,
+            base.peak_grouped_records
         );
+    }
+
+    #[test]
+    fn combiner_plus_spill_compose() {
+        let inputs: Vec<u64> = (0..30_000).collect();
+        // Many distinct keys (little to combine) plus hot keys (much to
+        // combine) — both paths exercised together with spilling.
+        let mapper = |&x: &u64, emit: &mut Emitter<u64, u64>| {
+            let key = if x % 5 == 0 { 100_000 + x } else { x % 17 };
+            emit.emit(key, 1);
+        };
+        let reducer = |k: &u64, vs: Vec<u64>| vec![(*k, vs.iter().sum::<u64>())];
+        let baseline = map_reduce(&MrConfig::with_workers(4), &inputs, mapper, reducer);
+        let cfg = MrConfig::with_workers(4)
+            .with_chunk_records(512)
+            .with_spill_threshold(2_048);
+        let combine = |vs: &mut Vec<u64>| {
+            let sum: u64 = vs.drain(..).sum();
+            vs.push(sum);
+        };
+        let (out, stats) = map_reduce_combined_with_stats(&cfg, &inputs, mapper, combine, reducer);
+        assert_eq!(baseline, out);
+        assert!(stats.spilled_bytes > 0);
+        assert!(stats.peak_grouped_records <= 2_048 + 1_024);
+    }
+
+    #[test]
+    fn spill_threshold_zero_is_disabled() {
+        // Mirror of the `partitions: 0` clamp: a directly constructed
+        // `spill_threshold_records: 0` must mean "never spill", not panic
+        // or spill-every-wave.
+        let cfg = MrConfig {
+            spill_threshold_records: 0,
+            ..MrConfig::with_workers(2).with_chunk_records(64)
+        };
+        let docs = ["a b a", "b c"];
+        let inputs: Vec<&str> = docs.to_vec();
+        let (out, stats) = map_reduce_with_stats(
+            &cfg,
+            &inputs,
+            |doc: &&str, emit: &mut Emitter<String, usize>| {
+                for word in doc.split_whitespace() {
+                    emit.emit(word.to_string(), 1);
+                }
+            },
+            |word, counts| vec![(word.clone(), counts.len())],
+        );
+        assert_eq!(stats.spilled_bytes, 0);
+        let mut sorted = out;
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn pathologically_small_spill_threshold_still_correct() {
+        // threshold 1 < any wave: spills before every merge; output must
+        // still be byte-identical and nothing may panic.
+        let inputs: Vec<u64> = (0..2_000).collect();
+        let job = |cfg: &MrConfig| {
+            map_reduce(
+                cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 31, x),
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+        };
+        let base = job(&MrConfig::with_workers(3));
+        let spilled = job(&MrConfig::with_workers(3)
+            .with_chunk_records(128)
+            .with_spill_threshold(1));
+        assert_eq!(base, spilled);
+    }
+
+    #[test]
+    fn hundreds_of_runs_per_partition_stay_correct() {
+        // A tiny threshold over many waves accumulates far more runs per
+        // partition than MAX_MERGE_FANIN; the bounded-fan-in compaction
+        // must keep the output byte-identical (and the FD count capped).
+        let inputs: Vec<u64> = (0..3_000).collect();
+        let job = |cfg: &MrConfig| {
+            map_reduce_with_stats(
+                cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 11, x),
+                |k, vs| vec![(*k, vs)],
+            )
+        };
+        let (base, _) = job(&MrConfig::sequential());
+        let cfg = MrConfig {
+            workers: 1,
+            partitions: 1,
+            ..MrConfig::default()
+        }
+        .with_chunk_records(8)
+        .with_spill_threshold(8);
+        let (spilled, stats) = job(&cfg);
+        assert_eq!(base, spilled);
+        // ~375 spill events → well past the 64-run merge fan-in.
+        assert!(stats.spilled_bytes > 0);
+    }
+
+    #[test]
+    fn spill_without_chunking_chunks_at_the_threshold() {
+        // chunk_records == 0 but a spill threshold set: the engine must
+        // still take the wave-based path (spilling needs accumulators to
+        // snapshot) and bound both residencies near the threshold.
+        let inputs: Vec<u64> = (0..20_000).collect();
+        let (out, stats) = map_reduce_with_stats(
+            &MrConfig::with_workers(4).with_spill_threshold(1_000),
+            &inputs,
+            |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 97, x),
+            |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+        );
+        assert_eq!(out.len(), 97);
+        assert!(stats.spilled_bytes > 0);
+        assert!(stats.peak_resident_records <= 2_000);
+        assert!(stats.peak_grouped_records <= 2_000);
+    }
+
+    #[test]
+    fn spill_temp_files_are_removed_after_success_and_panic() {
+        // Point spills at a private base dir so the assertion cannot race
+        // other tests spilling into the OS temp dir.
+        let base = std::env::temp_dir().join(format!("kf-mr-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let base_str: &'static str = Box::leak(base.to_str().unwrap().to_string().into_boxed_str());
+        let cfg = MrConfig::with_workers(2)
+            .with_chunk_records(64)
+            .with_spill_threshold(128)
+            .with_spill_dir(base_str);
+        let inputs: Vec<u64> = (0..2_000).collect();
+
+        // Success: job completes, runs are merged, directory cleaned.
+        let (_, stats) = map_reduce_with_stats(
+            &cfg,
+            &inputs,
+            |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 13, x),
+            |k, vs| vec![(*k, vs.len())],
+        );
+        assert!(stats.spilled_bytes > 0, "spill path was not exercised");
+        assert_eq!(
+            std::fs::read_dir(&base).unwrap().count(),
+            0,
+            "spill dirs must be removed after a successful job"
+        );
+
+        // Reducer panic: the unwind must still remove every spill file.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_reduce(
+                &cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 13, x),
+                |_k, _vs| -> Vec<u64> { panic!("reducer failure") },
+            )
+        }));
+        assert!(result.is_err(), "reducer panic must propagate");
+        assert_eq!(
+            std::fs::read_dir(&base).unwrap().count(),
+            0,
+            "spill dirs must be removed when a reducer panics"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]
@@ -586,6 +1198,7 @@ mod tests {
                 workers: 0,
                 partitions: 0,
                 chunk_records,
+                ..MrConfig::default()
             };
             let docs = ["a b a", "b c"];
             let mut out = word_count(&cfg, &docs);
@@ -606,6 +1219,9 @@ mod tests {
         for cfg in [
             MrConfig::default(),
             MrConfig::default().with_chunk_records(64),
+            MrConfig::default()
+                .with_chunk_records(64)
+                .with_spill_threshold(16),
         ] {
             let out: Vec<u32> = map_reduce(
                 &cfg,
@@ -625,6 +1241,9 @@ mod tests {
         for cfg in [
             MrConfig::with_workers(4),
             MrConfig::with_workers(4).with_chunk_records(1_000),
+            MrConfig::with_workers(4)
+                .with_chunk_records(1_000)
+                .with_spill_threshold(4_000),
         ] {
             let out = map_reduce(
                 &cfg,
@@ -658,8 +1277,10 @@ mod tests {
         assert_eq!(stats.map_output, 200);
         assert_eq!(stats.reduce_keys, 10); // keys 0..10 (x%5 ⊂ x%10)
         assert_eq!(stats.reduce_output, 200);
-        // Unchunked: the whole shuffle is resident at once.
+        // Unchunked: the whole shuffle is resident at once, raw and grouped.
         assert_eq!(stats.peak_resident_records, 200);
+        assert_eq!(stats.peak_grouped_records, 200);
+        assert_eq!(stats.spilled_bytes, 0);
     }
 
     #[test]
@@ -711,6 +1332,37 @@ mod tests {
             stats.peak_resident_records <= 500,
             "peak {} above the 500-record quota",
             stats.peak_resident_records
+        );
+    }
+
+    #[test]
+    fn chunked_peak_is_bounded_below_unchunked() {
+        let inputs: Vec<u64> = (0..50_000).collect();
+        let job = |cfg: &MrConfig| {
+            map_reduce_with_stats(
+                cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 513, x),
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+            .1
+        };
+        let unchunked = job(&MrConfig::with_workers(4));
+        assert_eq!(unchunked.peak_resident_records, unchunked.map_output);
+
+        let chunked = job(&MrConfig::with_workers(4).with_chunk_records(2_048));
+        assert_eq!(chunked.map_output, unchunked.map_output);
+        assert!(
+            chunked.peak_resident_records < unchunked.peak_resident_records,
+            "peak {} not below unchunked {}",
+            chunked.peak_resident_records,
+            unchunked.peak_resident_records
+        );
+        // Fan-out here is exactly 1, so the bound is tight up to one wave.
+        assert!(
+            chunked.peak_resident_records <= 2 * 2_048,
+            "peak {} far above the 2048-record quota",
+            chunked.peak_resident_records
         );
     }
 

@@ -16,6 +16,15 @@
 //!   mapped in bounded waves whose buffers merge into reduce-side group
 //!   accumulators as they fill, capping raw shuffle residency near the
 //!   quota (reported as [`JobStats::peak_resident_records`]),
+//! * [`MrConfig::spill_threshold_records`] — the **external shuffle**:
+//!   when grouped residency would cross the threshold, partition
+//!   accumulators spill to sorted run files (serialized with the
+//!   hand-rolled [`kf_types::KvCodec`]) and reduce by k-way merge,
+//!   capping grouped residency too ([`JobStats::peak_grouped_records`],
+//!   [`JobStats::spilled_bytes`]),
+//! * [`Combiner`] / [`map_reduce_combined`] — partial reduction of group
+//!   accumulators while the shuffle runs (counts, sums, dedup), shrinking
+//!   both the resident groups and the spilled bytes,
 //! * [`Reservoir`] — the reducer-side uniform sampling the paper uses to cap
 //!   per-key work at `L` records (§4.1 "we sample L triples each time"),
 //! * [`IterativeDriver`] — round iteration with convergence detection and
@@ -25,17 +34,22 @@
 //!
 //! The engine is deterministic: given the same inputs, configuration and
 //! (pure) mapper/reducer functions, output order and content are reproducible
-//! regardless of thread interleaving — and regardless of chunking — because
-//! records are grouped per partition, per-key values arrive in input order,
-//! and keys are processed in sorted order. The chunked-shuffle design is
-//! documented in the repository's `ARCHITECTURE.md`.
+//! regardless of thread interleaving — and regardless of chunking, combining
+//! or spilling — because records are grouped per partition, per-key values
+//! arrive in input order (spilled runs replay in spill order, which *is*
+//! input order), and keys are processed in sorted order. The external
+//! shuffle design is documented in the repository's `ARCHITECTURE.md`.
 
 pub mod driver;
 pub mod engine;
 pub mod sampling;
+mod spill;
 pub mod stats;
 
 pub use driver::{IterativeDriver, RoundOutcome};
-pub use engine::{map_reduce, map_reduce_with_stats, Emitter, MrConfig};
+pub use engine::{
+    map_reduce, map_reduce_combined, map_reduce_combined_with_stats, map_reduce_with_stats,
+    Combiner, Emitter, MrConfig,
+};
 pub use sampling::Reservoir;
 pub use stats::JobStats;

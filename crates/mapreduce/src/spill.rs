@@ -1,0 +1,399 @@
+//! Disk-backed shuffle partitions: sorted run files and their k-way merge.
+//!
+//! When [`MrConfig::spill_threshold_records`](crate::MrConfig) is set and
+//! the grouped records resident across all partitions would cross it, the
+//! engine serializes every non-empty partition accumulator to a **run
+//! file** and frees the memory. A run holds one partition's groups,
+//! sorted by key, encoded with [`kf_types::KvCodec`]:
+//!
+//! ```text
+//! run file := frame*
+//! frame    := u64 LE byte-length, then that many bytes:
+//!             KvCodec(key) ++ KvCodec(Vec<value>)
+//! ```
+//!
+//! The frame prefix lets the reader pull one group at a time into a
+//! reusable buffer, so merging R runs holds at most R groups in memory
+//! (plus the one being reduced). At reduce time the runs of a partition
+//! are merged k-way: runs are individually key-sorted, and within a key,
+//! earlier runs hold earlier input — so visiting runs in spill order
+//! reconstructs exactly the sorted-key, input-ordered view the in-memory
+//! path produces. Output is byte-identical either way.
+//!
+//! All spill files live in one job-scoped temp directory ([`SpillDir`])
+//! that is removed on drop — including the unwind when a mapper or
+//! reducer panics mid-job.
+
+use kf_types::KvCodec;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A job-scoped spill directory, deleted (recursively) on drop.
+///
+/// The directory name embeds the process id and a process-global sequence
+/// number, so concurrent jobs — and concurrent processes sharing a temp
+/// dir — never collide.
+pub(crate) struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Create a fresh spill directory under `base` (the OS temp dir when
+    /// `None` — see [`MrConfig::spill_dir`](crate::MrConfig)).
+    pub(crate) fn create(base: Option<&str>) -> SpillDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = base.map_or_else(std::env::temp_dir, PathBuf::from);
+        let path = base.join(format!(
+            "kf-mr-spill-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("cannot create spill dir {}: {e}", path.display()));
+        SpillDir { path }
+    }
+
+    /// Path for the next run file of `partition`.
+    pub(crate) fn run_path(&self, partition: usize, seq: usize) -> PathBuf {
+        self.path.join(format!("p{partition}-run{seq}.bin"))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best effort: a failure to clean the temp dir must not turn a
+        // successful job (or an already-unwinding panic) into an abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Append one `(key, values)` frame to an open run writer. Returns the
+/// bytes written (frame plus its length prefix).
+fn write_group<K: KvCodec, V: KvCodec>(
+    writer: &mut BufWriter<File>,
+    frame: &mut Vec<u8>,
+    path: &Path,
+    key: &K,
+    values: &Vec<V>,
+) -> u64 {
+    frame.clear();
+    key.encode(frame);
+    values.encode(frame);
+    let err = |e| panic!("cannot write spill run {}: {e}", path.display());
+    writer
+        .write_all(&(frame.len() as u64).to_le_bytes())
+        .unwrap_or_else(err);
+    writer.write_all(frame).unwrap_or_else(err);
+    8 + frame.len() as u64
+}
+
+/// Write one partition's accumulated groups to a sorted run file.
+///
+/// `groups` must already be sorted by key. Returns the number of bytes
+/// written (frames plus their length prefixes).
+pub(crate) fn write_run<K: KvCodec, V: KvCodec>(path: &Path, groups: &[(K, Vec<V>)]) -> u64 {
+    let file = File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create spill run {}: {e}", path.display()));
+    let mut writer = BufWriter::new(file);
+    let mut frame = Vec::new();
+    let mut bytes = 0u64;
+    for (key, values) in groups {
+        bytes += write_group(&mut writer, &mut frame, path, key, values);
+    }
+    writer
+        .flush()
+        .unwrap_or_else(|e| panic!("cannot flush spill run {}: {e}", path.display()));
+    bytes
+}
+
+/// Streaming reader over one run file: yields `(key, values)` groups in
+/// the order they were written (sorted by key), holding one frame in
+/// memory at a time.
+pub(crate) struct RunReader<K, V> {
+    reader: BufReader<File>,
+    path: PathBuf,
+    frame: Vec<u8>,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: KvCodec, V: KvCodec> RunReader<K, V> {
+    pub(crate) fn open(path: &Path) -> Self {
+        let file = File::open(path)
+            .unwrap_or_else(|e| panic!("cannot open spill run {}: {e}", path.display()));
+        RunReader {
+            reader: BufReader::new(file),
+            path: path.to_path_buf(),
+            frame: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The next group, or `None` at end of run.
+    pub(crate) fn next_group(&mut self) -> Option<(K, Vec<V>)> {
+        let mut len_bytes = [0u8; 8];
+        match self.reader.read_exact(&mut len_bytes) {
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return None,
+            r => r.unwrap_or_else(|e| panic!("cannot read spill run {}: {e}", self.path.display())),
+        }
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        self.frame.resize(len, 0);
+        self.reader
+            .read_exact(&mut self.frame)
+            .unwrap_or_else(|e| panic!("truncated spill run {}: {e}", self.path.display()));
+        let mut input = &self.frame[..];
+        let key = K::decode(&mut input)
+            .unwrap_or_else(|| panic!("corrupt spill frame (key) in {}", self.path.display()));
+        let values = Vec::<V>::decode(&mut input)
+            .unwrap_or_else(|| panic!("corrupt spill frame (values) in {}", self.path.display()));
+        Some((key, values))
+    }
+}
+
+/// The most run files a single merge opens simultaneously. Heavy spills
+/// (tiny thresholds over big corpora) can accumulate hundreds of runs per
+/// partition, and each reduce worker merges a partition concurrently —
+/// without a cap, `workers × runs` open descriptors blow through common
+/// 1024-FD ulimits. Runs beyond the cap are first *compacted*: contiguous
+/// batches merge into one run each (preserving key order and, within a
+/// key, run order) until the count fits.
+const MAX_MERGE_FANIN: usize = 64;
+
+/// K-way merge the runs of one partition and reduce each key.
+///
+/// Every run is sorted by key; ties across runs are visited in run order
+/// (earlier run = earlier input), so the reducer sees each key exactly
+/// once with its values in input order — the same view the in-memory
+/// path delivers. At most [`MAX_MERGE_FANIN`] files are open at once;
+/// larger run sets are compacted first. Returns the reduced output and
+/// the number of distinct keys.
+pub(crate) fn merge_reduce_runs<K, V, O, R>(runs: &[PathBuf], reducer: &R) -> (Vec<O>, u64)
+where
+    K: KvCodec + Ord,
+    V: KvCodec,
+    R: Fn(&K, Vec<V>) -> Vec<O>,
+{
+    let compacted = compact_to_fanin::<K, V>(runs);
+    let active: &[PathBuf] = compacted.as_deref().unwrap_or(runs);
+    let mut out = Vec::new();
+    let mut n_keys = 0u64;
+    merge_runs_each::<K, V, _>(active, |key, values| {
+        n_keys += 1;
+        out.extend(reducer(&key, values));
+    });
+    (out, n_keys)
+}
+
+/// Repeatedly merge contiguous batches of ≤ [`MAX_MERGE_FANIN`] runs into
+/// single compacted runs until the count fits one merge pass. Batches are
+/// contiguous and visited in order, so a compacted run keeps keys sorted
+/// and per-key values in original run (= input) order; consumed inputs
+/// are deleted eagerly to bound disk usage. Returns `None` when `runs`
+/// already fits.
+fn compact_to_fanin<K, V>(runs: &[PathBuf]) -> Option<Vec<PathBuf>>
+where
+    K: KvCodec + Ord,
+    V: KvCodec,
+{
+    if runs.len() <= MAX_MERGE_FANIN {
+        return None;
+    }
+    let mut current: Vec<PathBuf> = runs.to_vec();
+    let mut level = 0usize;
+    while current.len() > MAX_MERGE_FANIN {
+        let mut next = Vec::with_capacity(current.len().div_ceil(MAX_MERGE_FANIN));
+        for (i, batch) in current.chunks(MAX_MERGE_FANIN).enumerate() {
+            if batch.len() == 1 {
+                next.push(batch[0].clone());
+                continue;
+            }
+            // Unique per (level, batch): batch[0] differs across batches
+            // of one level and gains a fresh suffix at the next.
+            let mut name = batch[0].file_name().expect("run has a name").to_os_string();
+            name.push(format!(".m{level}-{i}"));
+            let out_path = batch[0].with_file_name(name);
+            let file = File::create(&out_path).unwrap_or_else(|e| {
+                panic!("cannot create compacted run {}: {e}", out_path.display())
+            });
+            let mut writer = BufWriter::new(file);
+            let mut frame = Vec::new();
+            merge_runs_each::<K, V, _>(batch, |key, values| {
+                write_group(&mut writer, &mut frame, &out_path, &key, &values);
+            });
+            writer.flush().unwrap_or_else(|e| {
+                panic!("cannot flush compacted run {}: {e}", out_path.display())
+            });
+            for consumed in batch {
+                let _ = std::fs::remove_file(consumed);
+            }
+            next.push(out_path);
+        }
+        current = next;
+        level += 1;
+    }
+    Some(current)
+}
+
+/// The k-way merge core: stream `(key, values)` groups out of `runs` in
+/// ascending key order, concatenating a key's values across runs in run
+/// order, and hand each merged group to `each`. Opens every listed run —
+/// callers bound the list via [`MAX_MERGE_FANIN`].
+fn merge_runs_each<K, V, F>(runs: &[PathBuf], mut each: F)
+where
+    K: KvCodec + Ord,
+    V: KvCodec,
+    F: FnMut(K, Vec<V>),
+{
+    let mut readers: Vec<RunReader<K, V>> = runs.iter().map(|p| RunReader::open(p)).collect();
+    let mut heads: Vec<Option<(K, Vec<V>)>> = readers.iter_mut().map(|r| r.next_group()).collect();
+    loop {
+        // The earliest run holding the smallest key wins; `<` keeps the
+        // lowest index on ties.
+        let mut min_idx: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some((key, _)) = head {
+                let is_smaller = match min_idx {
+                    None => true,
+                    Some(m) => key < &heads[m].as_ref().unwrap().0,
+                };
+                if is_smaller {
+                    min_idx = Some(i);
+                }
+            }
+        }
+        let Some(mi) = min_idx else { break };
+        let (key, mut values) = heads[mi].take().unwrap();
+        heads[mi] = readers[mi].next_group();
+        // Later runs contribute later input: append in ascending run order.
+        for j in mi + 1..heads.len() {
+            if heads[j].as_ref().is_some_and(|(k, _)| *k == key) {
+                let (_, vs) = heads[j].take().unwrap();
+                values.extend(vs);
+                heads[j] = readers[j].next_group();
+            }
+        }
+        each(key, values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn spill_dir_is_removed_on_drop() {
+        let dir = SpillDir::create(None);
+        let path = dir.path().to_path_buf();
+        std::fs::write(dir.run_path(0, 0), b"payload").unwrap();
+        assert!(path.is_dir());
+        drop(dir);
+        assert!(!path.exists(), "spill dir must be removed on drop");
+    }
+
+    #[test]
+    fn spill_dir_is_removed_during_unwind() {
+        // The guard must clean up even when a panic unwinds through the
+        // scope holding it — the engine relies on this when a reducer
+        // panics mid-job.
+        let observed: Mutex<Option<PathBuf>> = Mutex::new(None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let dir = SpillDir::create(None);
+            *observed.lock().unwrap() = Some(dir.path().to_path_buf());
+            std::fs::write(dir.run_path(3, 1), b"x").unwrap();
+            panic!("reducer panicked");
+        }));
+        assert!(result.is_err());
+        let path = observed.lock().unwrap().take().unwrap();
+        assert!(!path.exists(), "spill dir must be removed during unwind");
+    }
+
+    #[test]
+    fn run_roundtrip_preserves_groups_and_order() {
+        let dir = SpillDir::create(None);
+        let groups: Vec<(u32, Vec<u64>)> = vec![(1, vec![10, 11]), (5, vec![50]), (9, Vec::new())];
+        let path = dir.run_path(0, 0);
+        let bytes = write_run(&path, &groups);
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let mut reader: RunReader<u32, u64> = RunReader::open(&path);
+        let mut back = Vec::new();
+        while let Some(g) = reader.next_group() {
+            back.push(g);
+        }
+        assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn merge_interleaves_runs_in_key_then_run_order() {
+        let dir = SpillDir::create(None);
+        // Run 0 (earlier input): keys 1, 3. Run 1: keys 1, 2.
+        let r0 = dir.run_path(0, 0);
+        let r1 = dir.run_path(0, 1);
+        write_run(&r0, &[(1u32, vec![10u64, 11]), (3, vec![30])]);
+        write_run(&r1, &[(1u32, vec![12u64]), (2, vec![20])]);
+        let (out, n_keys) = merge_reduce_runs(&[r0, r1], &|k: &u32, vs: Vec<u64>| vec![(*k, vs)]);
+        assert_eq!(n_keys, 3);
+        assert_eq!(
+            out,
+            vec![
+                (1, vec![10, 11, 12]), // run-0 values before run-1 values
+                (2, vec![20]),
+                (3, vec![30]),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_beyond_fanin_compacts_and_preserves_order() {
+        // 150 runs (> 2×MAX_MERGE_FANIN): the merge must compact down to
+        // a bounded fan-in while keeping keys sorted and per-key values
+        // in run order, and must delete the consumed inputs.
+        let dir = SpillDir::create(None);
+        let n_runs = 150usize;
+        let runs: Vec<PathBuf> = (0..n_runs)
+            .map(|r| {
+                let path = dir.run_path(0, r);
+                // Every run holds keys r%5 and 1000+r, values tagged with
+                // the run index so cross-run order is observable.
+                write_run(
+                    &path,
+                    &[
+                        ((r % 5) as u32, vec![r as u64]),
+                        (1_000 + r as u32, vec![r as u64]),
+                    ],
+                );
+                path
+            })
+            .collect();
+        let (out, n_keys) = merge_reduce_runs(&runs, &|k: &u32, vs: Vec<u64>| vec![(*k, vs)]);
+        assert_eq!(n_keys, 5 + n_runs as u64);
+        // Keys ascend overall.
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        // Shared keys concatenate values in run (= input) order.
+        for key in 0u32..5 {
+            let (_, vs) = out.iter().find(|(k, _)| *k == key).unwrap();
+            let expected: Vec<u64> = (0..n_runs as u64).filter(|r| r % 5 == key as u64).collect();
+            assert_eq!(vs, &expected, "key {key}");
+        }
+        // Consumed level-0 runs were removed; only compacted files remain.
+        let remaining = std::fs::read_dir(dir.path()).unwrap().count();
+        assert!(
+            remaining <= MAX_MERGE_FANIN,
+            "{remaining} files left after compaction"
+        );
+    }
+
+    #[test]
+    fn merge_of_empty_run_list_is_empty() {
+        let (out, n_keys) = merge_reduce_runs::<u32, u64, u32, _>(&[], &|k, _| vec![*k]);
+        assert!(out.is_empty());
+        assert_eq!(n_keys, 0);
+    }
+}

@@ -16,6 +16,17 @@ pub struct JobStats {
     /// shuffle; with [`MrConfig::chunk_records`](crate::MrConfig) set it is
     /// the largest single wave, bounded near the configured quota.
     pub peak_resident_records: u64,
+    /// Peak number of *grouped* records resident across all partition
+    /// accumulators at once. Equals `map_output` when nothing spills
+    /// (every grouped value waits in memory for its reducer); with
+    /// [`MrConfig::spill_threshold_records`](crate::MrConfig) set it
+    /// stays at or under the threshold as long as a single wave fits it.
+    /// A [`Combiner`](crate::Combiner) lowers it further by folding
+    /// group buffers while the shuffle runs.
+    pub peak_grouped_records: u64,
+    /// Total bytes written to spill run files (frames plus their length
+    /// prefixes); `0` when the job never spilled.
+    pub spilled_bytes: u64,
 }
 
 impl JobStats {
@@ -46,14 +57,17 @@ impl JobStats {
     }
 
     /// Merge counters from another job (for multi-stage pipelines).
-    /// Volume counters add; the residency peak takes the max, because the
-    /// stages of a pipeline run one after another.
+    /// Volume counters (including spilled bytes) add; the residency peaks
+    /// take the max, because the stages of a pipeline run one after
+    /// another.
     pub fn merge(&mut self, other: &JobStats) {
         self.map_input += other.map_input;
         self.map_output += other.map_output;
         self.reduce_keys += other.reduce_keys;
         self.reduce_output += other.reduce_output;
         self.peak_resident_records = self.peak_resident_records.max(other.peak_resident_records);
+        self.peak_grouped_records = self.peak_grouped_records.max(other.peak_grouped_records);
+        self.spilled_bytes += other.spilled_bytes;
     }
 }
 
@@ -69,6 +83,7 @@ mod tests {
             reduce_keys: 6,
             reduce_output: 6,
             peak_resident_records: 30,
+            ..Default::default()
         };
         assert!((s.fanout() - 3.0).abs() < 1e-12);
         assert!((s.mean_group_size() - 5.0).abs() < 1e-12);
@@ -90,31 +105,44 @@ mod tests {
             reduce_keys: 2,
             reduce_output: 4,
             peak_resident_records: 20,
+            peak_grouped_records: 15,
+            spilled_bytes: 1_000,
         });
         assert_eq!(a.map_input, 15);
         assert_eq!(a.map_output, 20);
         assert_eq!(a.reduce_keys, 2);
         assert_eq!(a.reduce_output, 4);
         assert_eq!(a.peak_resident_records, 20);
+        assert_eq!(a.peak_grouped_records, 15);
+        assert_eq!(a.spilled_bytes, 1_000);
     }
 
     #[test]
-    fn merge_takes_peak_maximum() {
+    fn merge_takes_peak_maximum_and_adds_spill() {
         // Stages run sequentially: the pipeline's peak residency is the
-        // worst stage, not the sum of stages.
+        // worst stage, not the sum of stages — but spilled bytes are real
+        // I/O volume and accumulate.
         let mut a = JobStats {
             peak_resident_records: 50,
+            peak_grouped_records: 40,
+            spilled_bytes: 100,
             ..JobStats::new(5)
         };
         a.merge(&JobStats {
             peak_resident_records: 30,
+            peak_grouped_records: 60,
+            spilled_bytes: 50,
             ..Default::default()
         });
         assert_eq!(a.peak_resident_records, 50);
+        assert_eq!(a.peak_grouped_records, 60);
+        assert_eq!(a.spilled_bytes, 150);
         a.merge(&JobStats {
             peak_resident_records: 80,
             ..Default::default()
         });
         assert_eq!(a.peak_resident_records, 80);
+        assert_eq!(a.peak_grouped_records, 60);
+        assert_eq!(a.spilled_bytes, 150);
     }
 }

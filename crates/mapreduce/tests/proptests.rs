@@ -24,7 +24,7 @@ proptest! {
         partitions in 1usize..17,
         chunk_records in 0usize..65,
     ) {
-        let cfg = MrConfig { workers, partitions, chunk_records };
+        let cfg = MrConfig { workers, partitions, chunk_records, ..MrConfig::default() };
         let out: Vec<(u16, u64)> = map_reduce(
             &cfg,
             &pairs,
@@ -81,7 +81,7 @@ proptest! {
         partitions in 1usize..17,
         chunk_records in 1usize..130,
     ) {
-        let base = MrConfig { workers, partitions, chunk_records: 0 };
+        let base = MrConfig { workers, partitions, chunk_records: 0, ..MrConfig::default() };
         let run = |cfg: &MrConfig| {
             map_reduce(
                 cfg,
@@ -114,6 +114,81 @@ proptest! {
         );
         prop_assert_eq!(stats.map_output, n as u64);
         prop_assert!(stats.peak_resident_records <= (chunk_records as u64).min(n as u64));
+    }
+
+    /// The external shuffle (spill-to-disk runs, k-way merged) is
+    /// observationally identical to the fully in-memory path — exact
+    /// output equality including per-key value order and overall order —
+    /// for any input, worker/partition layout, chunk quota and spill
+    /// threshold.
+    #[test]
+    fn spilled_output_matches_in_memory_exactly(
+        pairs in prop::collection::vec((any::<u16>(), any::<u32>()), 0..400),
+        workers in 1usize..9,
+        partitions in 1usize..17,
+        chunk_records in 0usize..130,
+        spill_threshold in 1usize..200,
+    ) {
+        let base = MrConfig { workers, partitions, ..MrConfig::default() };
+        let run = |cfg: &MrConfig| {
+            map_reduce(
+                cfg,
+                &pairs,
+                |&(k, v), emit: &mut Emitter<u16, u32>| emit.emit(k, v),
+                // Keep the raw value list so per-key value *order* is
+                // compared too, not only aggregates.
+                |k, vs| vec![(*k, vs)],
+            )
+        };
+        let in_memory = run(&base);
+        let spilled = run(&MrConfig {
+            chunk_records,
+            spill_threshold_records: spill_threshold,
+            ..base
+        });
+        prop_assert_eq!(in_memory, spilled);
+    }
+
+    /// Combining (an associative integer-sum fold) composed with spilling
+    /// produces exactly the in-memory, uncombined output, and the spilled
+    /// run respects the grouped-residency threshold whenever a single
+    /// wave fits under it.
+    #[test]
+    fn combined_and_spilled_sum_matches_in_memory(
+        pairs in prop::collection::vec((any::<u8>(), 0u32..1000), 0..400),
+        workers in 1usize..6,
+        chunk_records in 1usize..50,
+        spill_threshold in 1usize..150,
+    ) {
+        let mapper = |&(k, v): &(u8, u32), emit: &mut Emitter<u8, u64>| {
+            emit.emit(k, v as u64);
+        };
+        let reducer = |k: &u8, vs: Vec<u64>| vec![(*k, vs.iter().sum::<u64>())];
+        let in_memory = map_reduce(&MrConfig::with_workers(workers), &pairs, mapper, reducer);
+        let cfg = MrConfig::with_workers(workers)
+            .with_chunk_records(chunk_records)
+            .with_spill_threshold(spill_threshold);
+        let (combined, stats) = kf_mapreduce::map_reduce_combined_with_stats(
+            &cfg,
+            &pairs,
+            mapper,
+            |vs: &mut Vec<u64>| {
+                let sum: u64 = vs.drain(..).sum();
+                vs.push(sum);
+            },
+            reducer,
+        );
+        prop_assert_eq!(in_memory, combined);
+        if chunk_records <= spill_threshold {
+            // A wave can overshoot the chunk quota ~2× during the ramp,
+            // but the pre-merge spill keeps the grouped residency bounded
+            // by threshold + one wave.
+            prop_assert!(
+                stats.peak_grouped_records <= (spill_threshold + 2 * chunk_records) as u64,
+                "grouped peak {} above threshold {} + wave {}",
+                stats.peak_grouped_records, spill_threshold, chunk_records
+            );
+        }
     }
 
     /// Reservoir sample size == min(capacity, n), and sampled items are a

@@ -1,0 +1,424 @@
+//! Hand-rolled binary key/value codec for the external shuffle.
+//!
+//! The MapReduce engine's spill-to-disk partitions (see `kf-mapreduce`)
+//! need to serialize `(key, values)` groups to sorted run files and read
+//! them back byte-identically. The vendored `serde` shim is derive-only
+//! (no real serialization), so this module provides a small, explicit
+//! binary codec instead: fixed-width little-endian integers, tagged
+//! enums, and length-prefixed sequences. No self-description, no
+//! versioning — a run file is written and read by the same process, so
+//! the schema is the Rust type itself.
+//!
+//! Implementations exist for the primitives and containers the fusion
+//! shuffles move (unsigned/signed integers, `f64` via its bit pattern,
+//! `bool`, `()`, `String`, `Option<T>`, `Vec<T>`, tuples up to arity 4)
+//! and for the domain types that ride through shuffles (`Value`,
+//! `DataItem`, `Triple`, [`ProvenanceKey`] via its
+//! lossless `u128` packing, and every id newtype).
+//!
+//! # Contract
+//!
+//! For every implementation, decode is the exact inverse of encode:
+//! `decode(&mut &encode(x)[..]) == Some(x)`, consuming precisely the
+//! bytes encode produced. [`KvCodec::decode`] advances the input slice
+//! past the decoded value and returns `None` (leaving the slice in an
+//! unspecified position) on truncated or malformed input.
+
+use crate::ids::{EntityId, ExtractorId, PageId, PatternId, PredicateId, SiteId, StrId, TypeId};
+use crate::provenance::ProvenanceKey;
+use crate::triple::{DataItem, Triple};
+use crate::value::{Numeric, Value};
+
+/// Binary encoding for shuffle keys and values, so the MapReduce engine
+/// can spill grouped partitions to disk and merge them back losslessly.
+///
+/// ```
+/// use kf_types::KvCodec;
+///
+/// let group = (String::from("tom cruise"), vec![1962u32, 7, 3]);
+/// let mut buf = Vec::new();
+/// group.encode(&mut buf);
+///
+/// let mut input = &buf[..];
+/// let decoded = <(String, Vec<u32>)>::decode(&mut input).unwrap();
+/// assert_eq!(decoded, group);
+/// assert!(input.is_empty(), "decode consumed exactly what encode wrote");
+/// ```
+pub trait KvCodec: Sized {
+    /// Append this value's binary encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `input`, advancing it past the
+    /// consumed bytes. Returns `None` on truncated or malformed input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+/// Split `n` bytes off the front of `input`, advancing it.
+#[inline]
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! int_codec {
+    ($($ty:ty),*) => {$(
+        impl KvCodec for $ty {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                Some(<$ty>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, u128, i8, i16, i32, i64);
+
+/// `usize` travels as `u64` so run files do not depend on the platform's
+/// pointer width.
+impl KvCodec for usize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::decode(input)?).ok()
+    }
+}
+
+/// `f64` travels as its IEEE-754 bit pattern: the roundtrip is exact for
+/// every value including NaNs, negative zero and infinities.
+impl KvCodec for f64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl KvCodec for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl KvCodec for () {
+    #[inline]
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    #[inline]
+    fn decode(_input: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl KvCodec for String {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(u64::decode(input)?).ok()?;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: KvCodec> KvCodec for Option<T> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: KvCodec> KvCodec for Vec<T> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(u64::decode(input)?).ok()?;
+        // Guard the pre-allocation against corrupt headers: each element
+        // encodes to at least one byte unless `T` is zero-sized.
+        if std::mem::size_of::<T>() > 0 && len > input.len() {
+            return None;
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Some(items)
+    }
+}
+
+macro_rules! tuple_codec {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: KvCodec),+> KvCodec for ($($name,)+) {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(($($name::decode(input)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_codec!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+macro_rules! id_codec {
+    ($($ty:ty),*) => {$(
+        impl KvCodec for $ty {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            #[inline]
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(Self(KvCodec::decode(input)?))
+            }
+        }
+    )*};
+}
+
+id_codec!(
+    EntityId,
+    PredicateId,
+    TypeId,
+    PageId,
+    SiteId,
+    ExtractorId,
+    PatternId,
+    StrId,
+    Numeric
+);
+
+impl KvCodec for Value {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Entity(e) => {
+                out.push(0);
+                e.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(1);
+                s.encode(out);
+            }
+            Value::Num(n) => {
+                out.push(2);
+                n.encode(out);
+            }
+        }
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(Value::Entity(EntityId::decode(input)?)),
+            1 => Some(Value::Str(StrId::decode(input)?)),
+            2 => Some(Value::Num(Numeric::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl KvCodec for DataItem {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.subject.encode(out);
+        self.predicate.encode(out);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(DataItem {
+            subject: EntityId::decode(input)?,
+            predicate: PredicateId::decode(input)?,
+        })
+    }
+}
+
+impl KvCodec for Triple {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.subject.encode(out);
+        self.predicate.encode(out);
+        // Qualified: `Value` also has an inherent `encode(self) -> u64`.
+        KvCodec::encode(&self.object, out);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Triple {
+            subject: EntityId::decode(input)?,
+            predicate: PredicateId::decode(input)?,
+            object: Value::decode(input)?,
+        })
+    }
+}
+
+/// Travels as the lossless `u128` packing of
+/// [`ProvenanceKey::pack`](crate::ProvenanceKey::pack); the packed word
+/// preserves key ordering within a granularity, so spilled runs sorted
+/// on the decoded key match runs sorted on the encoding.
+impl KvCodec for ProvenanceKey {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pack().encode(out);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ProvenanceKey::unpack(u128::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::{Granularity, Provenance};
+
+    fn roundtrip<T: KvCodec + PartialEq + std::fmt::Debug>(x: T) {
+        let mut buf = Vec::new();
+        x.encode(&mut buf);
+        let mut input = &buf[..];
+        assert_eq!(T::decode(&mut input), Some(x));
+        assert!(input.is_empty(), "decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(-1i32);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        roundtrip(0.0f64);
+        roundtrip(-0.0f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(1.0 / 3.0);
+        // NaN: compare bit patterns since NaN != NaN.
+        let mut buf = Vec::new();
+        f64::NAN.encode(&mut buf);
+        let decoded = f64::decode(&mut &buf[..]).unwrap();
+        assert_eq!(decoded.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(String::from("síte/página?q=1"));
+        roundtrip(String::new());
+        roundtrip(Some(42u32));
+        roundtrip(None::<u32>);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip((7u16, String::from("x")));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip((1usize, Some(0.5f64), true, vec![(1u32, 2u32)]));
+    }
+
+    #[test]
+    fn domain_type_roundtrips() {
+        roundtrip(Value::Entity(EntityId(7)));
+        roundtrip(Value::Str(StrId(9)));
+        roundtrip(Value::Num(Numeric(-8849)));
+        roundtrip(DataItem::new(EntityId(1), PredicateId(2)));
+        roundtrip(Triple::new(
+            EntityId(1),
+            PredicateId(2),
+            Value::Num(Numeric(1_962_000)),
+        ));
+        let prov = Provenance::new(ExtractorId(3), PageId(100), SiteId(7), PatternId(42));
+        for g in Granularity::ALL {
+            roundtrip(ProvenanceKey::at(g, &prov, PredicateId(5)));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        (42u64, String::from("hello")).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut input = &buf[..cut];
+            assert_eq!(
+                <(u64, String)>::decode(&mut input),
+                None,
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_tags_are_rejected() {
+        assert_eq!(bool::decode(&mut &[2u8][..]), None);
+        assert_eq!(Option::<u8>::decode(&mut &[9u8, 0][..]), None);
+        assert_eq!(Value::decode(&mut &[3u8, 0, 0, 0, 0][..]), None);
+        // A Vec length header larger than the remaining input must not
+        // cause a huge pre-allocation.
+        let mut buf = Vec::new();
+        (u64::MAX).encode(&mut buf);
+        assert_eq!(Vec::<u32>::decode(&mut &buf[..]), None);
+    }
+
+    #[test]
+    fn decode_advances_past_each_value() {
+        let mut buf = Vec::new();
+        1u32.encode(&mut buf);
+        2u32.encode(&mut buf);
+        let mut input = &buf[..];
+        assert_eq!(u32::decode(&mut input), Some(1));
+        assert_eq!(u32::decode(&mut input), Some(2));
+        assert_eq!(u32::decode(&mut input), None);
+    }
+}

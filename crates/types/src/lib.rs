@@ -6,14 +6,18 @@
 //! `(subject, predicate, object)` shape; [`Extraction`] records carrying the
 //! rich provenance the paper relies on (extractor, URL, site, pattern,
 //! confidence); [`Granularity`]-parameterised provenance keys (§4.3.1 of the
-//! paper); and the [`GoldStandard`] with its local closed-world assumption
-//! (LCWA) labelling (§3.2.1).
+//! paper); the [`GoldStandard`] with its local closed-world assumption
+//! (LCWA) labelling (§3.2.1); and [`KvCodec`], the hand-rolled binary
+//! codec the MapReduce engine's external shuffle uses to spill grouped
+//! partitions to sorted run files (the vendored serde shim is derive-only,
+//! so real serialization lives here).
 //!
 //! Everything here is deliberately plain data: `Copy` ids, interned strings,
 //! and hash maps keyed by those ids using a fast multiplicative hasher
 //! ([`hash::FxHasher`]), because these types sit on the hot path of a fusion
 //! run over millions of extractions.
 
+pub mod codec;
 pub mod extraction;
 pub mod gold;
 pub mod hash;
@@ -25,6 +29,7 @@ pub mod stats;
 pub mod triple;
 pub mod value;
 
+pub use codec::KvCodec;
 pub use extraction::{Extraction, ExtractionBatch};
 pub use gold::{GoldStandard, Label};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxMixBuildHasher, FxMixHashMap, FxMixHashSet};

@@ -23,6 +23,31 @@ fn arb_provenance() -> impl Strategy<Value = Provenance> {
 }
 
 proptest! {
+    /// KvCodec roundtrips exactly — for the shapes the shuffles actually
+    /// spill: triples, packed provenance keys, and nested group tuples —
+    /// and decode consumes precisely the bytes encode produced.
+    #[test]
+    fn codec_roundtrips_shuffle_shapes(
+        triple in arb_triple(),
+        prov in arb_provenance(),
+        predicate in 0u32..500,
+        values in prop::collection::vec((any::<u64>(), any::<u16>(), 0.0f64..1.0), 0..40),
+        granularity_idx in 0usize..Granularity::ALL.len(),
+    ) {
+        fn roundtrip<T: KvCodec + PartialEq + std::fmt::Debug>(x: &T) {
+            let mut buf = Vec::new();
+            x.encode(&mut buf);
+            let mut input = &buf[..];
+            prop_assert_eq!(T::decode(&mut input).as_ref(), Some(x));
+            prop_assert!(input.is_empty(), "decode left {} bytes", input.len());
+        }
+        roundtrip(&triple);
+        let key = ProvenanceKey::at(Granularity::ALL[granularity_idx], &prov, PredicateId(predicate));
+        roundtrip(&key);
+        // A spilled group frame: (key, Vec<value>) as the engine writes it.
+        roundtrip(&(triple.data_item(), values));
+    }
+
     /// Value::encode never collides across variants for realistic id ranges.
     #[test]
     fn value_encode_injective(a in arb_value(), b in arb_value()) {

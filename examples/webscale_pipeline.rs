@@ -1,9 +1,15 @@
 //! The scaling story: run the three-stage MapReduce fusion pipeline over
 //! the large corpus preset with explicit worker counts and inspect the
-//! engine's execution counters (the paper's Fig. 8 architecture).
+//! engine's execution counters (the paper's Fig. 8 architecture) —
+//! including a forced spill-to-disk run proving the external shuffle
+//! reproduces the in-memory output byte-for-byte under a bounded memory
+//! envelope.
 //!
 //! ```text
 //! cargo run --release --example webscale_pipeline
+//! # Force a much smaller grouped-residency envelope (CI uses this to
+//! # exercise the disk path on every push):
+//! KF_SPILL_THRESHOLD=4096 cargo run --release --example webscale_pipeline
 //! ```
 
 use kf::prelude::*;
@@ -61,6 +67,60 @@ fn main() {
         full.stats.peak_resident_records,
         chunked.stats.peak_resident_records,
         full.stats.peak_resident_records as f64 / chunked.stats.peak_resident_records.max(1) as f64,
+    );
+
+    // External shuffle: additionally bound the *grouped* records resident
+    // across partition accumulators. Past the threshold, partitions spill
+    // to sorted run files (KvCodec-encoded) and every round reduces by
+    // k-way merging its runs — output must still be byte-identical.
+    // KF_SPILL_THRESHOLD overrides the envelope; CI sets it tiny so the
+    // disk path is exercised on every push.
+    let spill_threshold: usize = std::env::var("KF_SPILL_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 18);
+    let spilled_cfg = FusionConfig {
+        // Waves must fit under the spill threshold for the envelope to be
+        // exact; a quarter of it keeps the raw and grouped bounds aligned.
+        mr: MrConfig::default()
+            .with_chunk_records((spill_threshold / 4).max(1))
+            .with_spill_threshold(spill_threshold),
+        ..FusionConfig::popaccu()
+    };
+    let t = Instant::now();
+    let spilled = Fuser::new(spilled_cfg).run(&corpus.batch, None);
+    let spill_secs = t.elapsed().as_secs_f64();
+    assert_eq!(full.scored.len(), spilled.scored.len());
+    for (a, b) in full.scored.iter().zip(&spilled.scored) {
+        assert_eq!(a.triple, b.triple);
+        assert_eq!(a.probability, b.probability, "spill changed {:?}", a.triple);
+    }
+    assert!(
+        spilled.stats.spilled_bytes > 0,
+        "spill threshold {spill_threshold} never triggered — raise the corpus or lower it"
+    );
+    // The engine invariant: grouped residency never exceeds the threshold
+    // OR the largest single wave, whichever is bigger — a wave can
+    // overshoot only because a single input's emissions never split, and
+    // Stage II's Zipf-head items (the paper's 2.7M-extraction data items)
+    // can emit more than a small threshold in one go.
+    let envelope = (spill_threshold as u64).max(spilled.stats.peak_resident_records);
+    assert!(
+        spilled.stats.peak_grouped_records <= envelope,
+        "grouped peak {} above max(threshold {}, largest wave {})",
+        spilled.stats.peak_grouped_records,
+        spill_threshold,
+        spilled.stats.peak_resident_records
+    );
+    println!(
+        "\nexternal shuffle (spill threshold {}): peak grouped records {} -> {} \
+         ({:.1}x smaller), {:.1} MiB spilled to disk, output identical, fused in {:.2}s",
+        spill_threshold,
+        full.stats.peak_grouped_records,
+        spilled.stats.peak_grouped_records,
+        full.stats.peak_grouped_records as f64 / spilled.stats.peak_grouped_records.max(1) as f64,
+        spilled.stats.spilled_bytes as f64 / (1024.0 * 1024.0),
+        spill_secs,
     );
 
     // Reducer-side sampling (the paper's L) barely moves the output while
