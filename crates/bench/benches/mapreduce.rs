@@ -185,11 +185,72 @@ fn large_corpus_peak_records(c: &mut Criterion) {
     });
 }
 
+/// Memory-envelope gate for the diagnosis pass: the `kf-diagnose`
+/// support-profile job (the per-extractor attribution behind the Fig. 17
+/// taxonomy) maps the whole batch, so it must honour the same external
+/// shuffle bounds as the fusion pipeline — spilled output identical to
+/// the in-memory build with the grouped peak at or under the threshold.
+fn diagnose_support_envelope(c: &mut Criterion) {
+    use kf_diagnose::SupportIndex;
+
+    let corpus = Corpus::generate(&SynthConfig::large(), 42);
+    let records = &corpus.batch.records;
+
+    let (in_memory, base) = SupportIndex::build(records, &MrConfig::default());
+    let quota = 1 << 16;
+    let spill_threshold = (quota * 4) as u64;
+    let spilled_cfg = MrConfig::default()
+        .with_chunk_records(quota)
+        .with_spill_threshold(spill_threshold as usize);
+    let (spilled_index, spilled) = SupportIndex::build(records, &spilled_cfg);
+    let sample = corpus.batch.records[0].triple;
+    assert_eq!(
+        in_memory.get(&sample),
+        spilled_index.get(&sample),
+        "spilled support profiles must match the in-memory build"
+    );
+    assert_eq!(in_memory.len(), spilled_index.len());
+    assert!(
+        spilled.spilled_bytes > 0,
+        "the {spill_threshold}-record threshold did not trigger on {} records",
+        records.len()
+    );
+    assert!(
+        spilled.peak_grouped_records <= spill_threshold,
+        "diagnose support job grouped peak {} above the {} threshold",
+        spilled.peak_grouped_records,
+        spill_threshold
+    );
+    eprintln!(
+        "diagnose support job (large corpus, {} records): peak grouped records \
+         in-memory={} spilled(threshold={})={} ({:.1}x reduction, {:.1} MiB written)",
+        records.len(),
+        base.peak_grouped_records,
+        spill_threshold,
+        spilled.peak_grouped_records,
+        base.peak_grouped_records as f64 / spilled.peak_grouped_records.max(1) as f64,
+        spilled.spilled_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    c.bench_function("diagnose/support/large/in_memory", |b| {
+        b.iter(|| {
+            black_box(SupportIndex::build(
+                black_box(records),
+                &MrConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("diagnose/support/large/spilled256k", |b| {
+        b.iter(|| black_box(SupportIndex::build(black_box(records), &spilled_cfg)))
+    });
+}
+
 criterion_group!(
     benches,
     shuffle_sum,
     chunked_shuffle,
     spilled_shuffle,
-    large_corpus_peak_records
+    large_corpus_peak_records,
+    diagnose_support_envelope
 );
 criterion_main!(benches);

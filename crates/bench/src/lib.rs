@@ -13,8 +13,11 @@
 //! assert_eq!(report.methods.len(), 5);
 //! ```
 
-use kf_eval::{AblationRunner, EvalReport, Preset};
+use kf_diagnose::{DiagnoseConfig, Diagnoser, SupportIndex};
+use kf_eval::{AblationRunner, EvalReport, MethodEval, Preset};
+use kf_mapreduce::MrConfig;
 use kf_synth::{Corpus, SynthConfig};
+use std::time::Instant;
 
 /// Why [`ReproOptions::parse`] did not produce options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +54,9 @@ pub struct ReproOptions {
     pub bins: usize,
     /// Presets to run (default: all five).
     pub presets: Vec<Preset>,
+    /// Run the Fig. 17 error-taxonomy diagnosis per preset and embed the
+    /// `taxonomy` section in the report (default: true).
+    pub diagnose: bool,
 }
 
 impl Default for ReproOptions {
@@ -62,6 +68,7 @@ impl Default for ReproOptions {
             workers: None,
             bins: 10,
             presets: Preset::ALL.to_vec(),
+            diagnose: true,
         }
     }
 }
@@ -126,6 +133,7 @@ impl ReproOptions {
                     }
                     opts.presets = presets;
                 }
+                "--no-diagnose" => opts.diagnose = false,
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => return Err(invalid(format!("unknown argument {other:?}\n{USAGE}"))),
             }
@@ -148,6 +156,8 @@ options:
   --bins N                         calibration bins (default: 10)
   --presets a,b,c                  subset of: vote,accu,popaccu,
                                    popaccu_plus_unsup,popaccu_plus
+  --no-diagnose                    skip the Fig. 17 error-taxonomy pass
+                                   (per-preset \"taxonomy\" report section)
 ";
 
 /// The corpus configuration for a scale name.
@@ -180,6 +190,13 @@ pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
 }
 
 /// [`run`] over an existing corpus.
+///
+/// Per preset: fuse (with provenance attribution when diagnosing),
+/// evaluate calibration/PR, and — unless `opts.diagnose` is off — run the
+/// `kf-diagnose` error-taxonomy pass so every method's report section
+/// carries the Fig. 17 breakdown plus the heuristic-vs-injected confusion
+/// matrix. The batch-level support index and generator-truth join are
+/// computed once and shared by all presets.
 pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
     let runner = AblationRunner {
         n_bins: opts.bins,
@@ -187,10 +204,49 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
         scale: opts.scale.clone(),
         ..Default::default()
     };
+    let mr = opts.workers.map_or_else(MrConfig::default, |w| MrConfig {
+        workers: w.max(1),
+        partitions: w.max(1) * 4,
+        ..MrConfig::default()
+    });
+    let diagnosis = opts.diagnose.then(|| {
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &mr);
+        let truth = corpus.taxonomy_truth();
+        let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+        (support, truth, labels)
+    });
+
     let methods = opts
         .presets
         .iter()
-        .map(|&preset| runner.run_preset(corpus, preset))
+        .map(|&preset| {
+            // Without diagnosis the ablation runner's plain path applies —
+            // no provenance attribution is built.
+            let Some((support, truth, labels)) = &diagnosis else {
+                return runner.run_preset(corpus, preset);
+            };
+            let mut config = preset.config();
+            if let Some(w) = opts.workers {
+                config = config.with_workers(w);
+            }
+            let gold = preset.needs_gold().then_some(&corpus.gold);
+            let start = Instant::now();
+            let (output, attribution) =
+                kf_core::Fuser::new(config).run_with_attribution(&corpus.batch, gold);
+            let fuse_ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut method: MethodEval = runner.evaluate(preset, &output, &corpus.gold, fuse_ms);
+            let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, support)
+                .with_truth(truth)
+                .with_attribution(&attribution)
+                .with_extractor_labels(labels)
+                .with_config(DiagnoseConfig {
+                    mr,
+                    ..Default::default()
+                })
+                .run(&output);
+            method.taxonomy = Some(taxonomy);
+            method
+        })
         .collect();
     EvalReport {
         corpus: runner.corpus_summary(corpus),
@@ -259,6 +315,31 @@ mod tests {
         assert!(report.corpus.n_records > 0);
         for m in &report.methods {
             assert!(m.wdev().is_finite());
+            // Every preset carries a taxonomy section by default, and its
+            // categories partition the diagnosed false positives.
+            let taxonomy = m.taxonomy.as_ref().expect("taxonomy attached");
+            for band in &taxonomy.bands {
+                assert_eq!(band.counts.total(), band.n_labelled - band.n_true);
+            }
+            assert!(taxonomy.systematic_attribution.is_some());
         }
+        // The JSON report names the section for every preset.
+        let json = report.to_json_string();
+        assert_eq!(json.matches("\"taxonomy\"").count(), 5);
+    }
+
+    #[test]
+    fn no_diagnose_flag_omits_the_taxonomy() {
+        let opts = ReproOptions {
+            scale: "tiny".into(),
+            seed: 5,
+            out: None,
+            workers: Some(2),
+            ..ReproOptions::parse(["--no-diagnose"]).unwrap()
+        };
+        assert!(!opts.diagnose);
+        let report = run(&opts).unwrap();
+        assert!(report.methods.iter().all(|m| m.taxonomy.is_none()));
+        assert!(!report.to_json_string().contains("\"taxonomy\""));
     }
 }

@@ -7,9 +7,11 @@
 //! the default `SynthConfig` parameters; kept because the next corpus
 //! change will need it again.
 
+use kf_diagnose::{Diagnoser, SupportIndex};
 use kf_eval::{AblationRunner, Preset};
+use kf_mapreduce::MrConfig;
 use kf_synth::{Corpus, SynthConfig};
-use kf_types::Label;
+use kf_types::{ErrorCategory, Label};
 
 fn separation(corpus: &Corpus, out: &kf_core::FusionOutput) -> f64 {
     let (mut st, mut nt, mut sf, mut nf) = (0.0, 0usize, 0.0, 0usize);
@@ -60,10 +62,14 @@ fn profile(name: &str, cfg: &SynthConfig, seed: u64) {
         corpus.batch.unique_data_items(),
         corpus.batch.unique_triples() as f64 / corpus.batch.unique_data_items() as f64,
     );
+    let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::default());
+    let truth = corpus.taxonomy_truth();
     let mut wdevs = Vec::new();
+    let mut taxonomy_line = format!("{name:26} seed={seed} taxonomy mass | ");
     for preset in [Preset::Vote, Preset::PopAccu, Preset::PopAccuPlus] {
         let gold = preset.needs_gold().then_some(&corpus.gold);
-        let out = kf_core::Fuser::new(preset.config()).run(&corpus.batch, gold);
+        let (out, attribution) =
+            kf_core::Fuser::new(preset.config()).run_with_attribution(&corpus.batch, gold);
         let eval = runner.evaluate(preset, &out, &corpus.gold, 0.0);
         let sep = separation(&corpus, &out);
         let (hb, hn) = band_accuracy(&corpus, &out, 0.9, 1.01);
@@ -74,6 +80,33 @@ fn profile(name: &str, cfg: &SynthConfig, seed: u64) {
             eval.auc_pr(),
         ));
         wdevs.push(eval.wdev());
+
+        // Fig. 17 mass per corpus shape: how the diagnosed false
+        // positives split across the taxonomy, and how well the
+        // heuristics recover the injected systematic/generalized errors.
+        let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_truth(&truth)
+            .with_attribution(&attribution)
+            .run(&out);
+        let share = |c: ErrorCategory| {
+            if taxonomy.n_false_positives == 0 {
+                0.0
+            } else {
+                100.0 * taxonomy.category_share(c)
+            }
+        };
+        let sys_gate = taxonomy.systematic_attribution.unwrap_or_default();
+        taxonomy_line.push_str(&format!(
+            "{}: fp={} gen={:.0}% lcwa={:.0}% sys={:.0}% link={:.0}% sysacc={}/{} | ",
+            preset.label(),
+            taxonomy.n_false_positives,
+            share(ErrorCategory::WrongButGeneral),
+            share(ErrorCategory::LcwaArtifact),
+            share(ErrorCategory::SystematicExtraction),
+            share(ErrorCategory::LinkageError),
+            sys_gate.correct,
+            sys_gate.total,
+        ));
     }
     line.push_str(if wdevs[2] <= wdevs[0] {
         "ORDER-OK"
@@ -81,6 +114,7 @@ fn profile(name: &str, cfg: &SynthConfig, seed: u64) {
         "order-BAD"
     });
     println!("{line}");
+    println!("{taxonomy_line}");
 }
 
 /// The acceptance gate for the default reproduction: on the `paper`-scale

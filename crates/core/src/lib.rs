@@ -58,4 +58,4 @@ pub mod result;
 pub use config::{FusionConfig, InitAccuracy, Method};
 pub use observation::{Grouped, ItemGroup, ProvRegistry, ValueGroup};
 pub use pipeline::Fuser;
-pub use result::{FusionOutput, ScoredTriple};
+pub use result::{FusionOutput, ProvenanceAttribution, ScoredTriple};

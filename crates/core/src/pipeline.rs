@@ -18,7 +18,7 @@
 use crate::config::{FusionConfig, InitAccuracy, Method};
 use crate::methods;
 use crate::observation::{Grouped, ItemGroup};
-use crate::result::{FusionOutput, ScoredTriple};
+use crate::result::{FusionOutput, ProvenanceAttribution, ScoredTriple};
 use kf_mapreduce::{map_reduce_with_stats, Emitter, IterativeDriver, JobStats, Reservoir};
 use kf_types::{hash, Extraction, ExtractionBatch, GoldStandard, Label};
 
@@ -51,8 +51,45 @@ impl Fuser {
         self.run_records(&batch.records, gold)
     }
 
+    /// [`Fuser::run`] that also returns the per-value
+    /// [`ProvenanceAttribution`] — which provenances support each scored
+    /// triple, with their final learned accuracies. Row `i` of the
+    /// attribution lines up with `scored[i]`. The error-taxonomy
+    /// classifiers (`kf-diagnose`) consume this; plain [`Fuser::run`]
+    /// skips building it.
+    pub fn run_with_attribution(
+        &self,
+        batch: &ExtractionBatch,
+        gold: Option<&GoldStandard>,
+    ) -> (FusionOutput, ProvenanceAttribution) {
+        let (output, grouped) = self.run_grouped(&batch.records, gold);
+        let per_triple = grouped
+            .items
+            .iter()
+            .flat_map(|g| g.values.iter().map(|vg| vg.provs.clone()))
+            .collect::<Vec<_>>();
+        let attribution = ProvenanceAttribution::new(
+            grouped.provs.keys,
+            grouped.provs.accuracy,
+            grouped.provs.evaluated,
+            per_triple.into_iter(),
+        );
+        debug_assert_eq!(attribution.len(), output.scored.len());
+        (output, attribution)
+    }
+
     /// [`Fuser::run`] over a raw record slice.
     pub fn run_records(&self, records: &[Extraction], gold: Option<&GoldStandard>) -> FusionOutput {
+        self.run_grouped(records, gold).0
+    }
+
+    /// The engine behind [`Fuser::run_records`]: fuse and also hand back
+    /// the grouped view (with final accuracies) the run operated on.
+    fn run_grouped(
+        &self,
+        records: &[Extraction],
+        gold: Option<&GoldStandard>,
+    ) -> (FusionOutput, Grouped) {
         let cfg = &self.config;
         // The grouping job's counters (including the single grouping pass's
         // shuffle volume and residency peak) seed the pipeline totals.
@@ -126,13 +163,14 @@ impl Fuser {
             }
         }
 
-        FusionOutput {
+        let output = FusionOutput {
             scored,
             outcome,
             round_deltas,
             n_provenances: grouped.provs.len(),
             stats,
-        }
+        };
+        (output, grouped)
     }
 
     /// Stage I: compute per-slot probabilities. Returns
@@ -703,6 +741,35 @@ mod tests {
                 threshold
             );
         }
+    }
+
+    #[test]
+    fn attribution_lines_up_with_scored_output() {
+        let batch: ExtractionBatch = (0..1500)
+            .map(|i| ext(i % 60, i % 3, i % 5, (i % 6) as u16, i % 200))
+            .collect();
+        let fuser = seq(FusionConfig::popaccu());
+        let (out, attribution) = fuser.run_with_attribution(&batch, None);
+        // Identical output to the plain run.
+        let plain = fuser.run(&batch, None);
+        assert_eq!(out.scored.len(), plain.scored.len());
+        for (a, b) in out.scored.iter().zip(&plain.scored) {
+            assert_eq!(a.triple, b.triple);
+            assert_eq!(a.probability, b.probability);
+        }
+        // Row i attributes scored[i]: provenance count matches, extractor
+        // sets match the recorded n_extractors (ExtractorPage granularity
+        // keeps the extractor in the key), accuracies are final values.
+        assert_eq!(attribution.len(), out.scored.len());
+        assert_eq!(attribution.keys.len(), out.n_provenances);
+        for (i, s) in out.scored.iter().enumerate() {
+            assert_eq!(attribution.provs(i).len(), s.n_provenances as usize);
+            assert_eq!(attribution.extractors(i).len(), s.n_extractors as usize);
+            let mean = attribution.mean_accuracy(i).unwrap();
+            assert!((0.0..=1.0).contains(&mean));
+        }
+        // The iterative run must have evaluated at least one provenance.
+        assert!(attribution.evaluated.iter().any(|&e| e));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fusion output types.
 
 use kf_mapreduce::{JobStats, RoundOutcome};
-use kf_types::{FxHashMap, Triple};
+use kf_types::{ExtractorId, FxHashMap, ProvenanceKey, Triple};
 use serde::{Deserialize, Serialize};
 
 /// One unique triple with its estimated truthfulness probability.
@@ -80,6 +80,99 @@ impl FusionOutput {
     }
 }
 
+/// Per-value provenance attribution: which provenances (at the run's
+/// granularity) support each scored triple, with their *final* learned
+/// accuracies.
+///
+/// [`FusionOutput`] deliberately keeps only support counts per triple; the
+/// error-taxonomy classifiers of `kf-diagnose` additionally need to know
+/// *who* supports a high-confidence false positive (one extractor on many
+/// pages is the systematic-error signature) and how much the fusion ended
+/// up trusting that support. Obtain one from
+/// [`Fuser::run_with_attribution`](crate::Fuser::run_with_attribution) —
+/// the table is built from the same grouped view the run used, so index
+/// `i` lines up with `FusionOutput::scored[i]`.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceAttribution {
+    /// Provenance keys, indexed by dense provenance id.
+    pub keys: Vec<ProvenanceKey>,
+    /// Final (post-iteration) accuracy per provenance id.
+    pub accuracy: Vec<f64>,
+    /// Whether the accuracy was ever re-estimated from data.
+    pub evaluated: Vec<bool>,
+    /// `offsets[i]..offsets[i + 1]` indexes `prov_ids` for scored triple
+    /// `i`.
+    offsets: Vec<usize>,
+    /// Flattened per-triple provenance id lists (sorted, deduplicated).
+    prov_ids: Vec<u32>,
+}
+
+impl ProvenanceAttribution {
+    /// Assemble from per-triple provenance id lists (in scored order) and
+    /// the registry columns.
+    pub(crate) fn new(
+        keys: Vec<ProvenanceKey>,
+        accuracy: Vec<f64>,
+        evaluated: Vec<bool>,
+        per_triple: impl Iterator<Item = Vec<u32>>,
+    ) -> Self {
+        let mut offsets = vec![0usize];
+        let mut prov_ids = Vec::new();
+        for provs in per_triple {
+            prov_ids.extend(provs);
+            offsets.push(prov_ids.len());
+        }
+        ProvenanceAttribution {
+            keys,
+            accuracy,
+            evaluated,
+            offsets,
+            prov_ids,
+        }
+    }
+
+    /// Number of attributed triples.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no triples are attributed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dense provenance ids supporting scored triple `i` (sorted).
+    pub fn provs(&self, i: usize) -> &[u32] {
+        &self.prov_ids[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Distinct extractors supporting scored triple `i`, in id order.
+    /// Empty when the run's granularity excludes the extractor dimension
+    /// (e.g. [`Granularity::PageOnly`](kf_types::Granularity::PageOnly)).
+    pub fn extractors(&self, i: usize) -> Vec<ExtractorId> {
+        let mut out: Vec<ExtractorId> = self
+            .provs(i)
+            .iter()
+            .filter_map(|&pid| self.keys[pid as usize].extractor)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Mean final accuracy of the provenances supporting scored triple
+    /// `i` (`None` for an unsupported triple, which cannot occur for
+    /// triples produced by a fusion run).
+    pub fn mean_accuracy(&self, i: usize) -> Option<f64> {
+        let provs = self.provs(i);
+        if provs.is_empty() {
+            return None;
+        }
+        let sum: f64 = provs.iter().map(|&p| self.accuracy[p as usize]).sum();
+        Some(sum / provs.len() as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +225,39 @@ mod tests {
         let out = output(vec![]);
         assert_eq!(out.predicted_fraction(), 0.0);
         assert!(out.probability_map().is_empty());
+    }
+
+    #[test]
+    fn attribution_indexing_and_extractor_dedup() {
+        use kf_types::{ExtractorId, Granularity, PageId, PatternId, Provenance, SiteId};
+        // Three provenances: extractor 0 on two pages, extractor 2 on one.
+        let keys: Vec<ProvenanceKey> = [(0u16, 10u32), (0, 11), (2, 12)]
+            .iter()
+            .map(|&(e, pg)| {
+                ProvenanceKey::at(
+                    Granularity::ExtractorPage,
+                    &Provenance::new(ExtractorId(e), PageId(pg), SiteId(0), PatternId::NONE),
+                    PredicateId(0),
+                )
+            })
+            .collect();
+        let attribution = ProvenanceAttribution::new(
+            keys,
+            vec![0.9, 0.5, 0.2],
+            vec![true, true, false],
+            vec![vec![0, 1, 2], vec![2], vec![]].into_iter(),
+        );
+        assert_eq!(attribution.len(), 3);
+        assert_eq!(attribution.provs(0), &[0, 1, 2]);
+        assert_eq!(attribution.provs(1), &[2]);
+        assert!(attribution.provs(2).is_empty());
+        // Extractor 0 appears via two provenances but is reported once.
+        assert_eq!(
+            attribution.extractors(0),
+            vec![ExtractorId(0), ExtractorId(2)]
+        );
+        let mean = attribution.mean_accuracy(0).unwrap();
+        assert!((mean - (0.9 + 0.5 + 0.2) / 3.0).abs() < 1e-12);
+        assert_eq!(attribution.mean_accuracy(2), None);
     }
 }

@@ -1,0 +1,589 @@
+//! # kf-diagnose — the automated error taxonomy (Fig. 17)
+//!
+//! The paper's error analysis is what turns knowledge fusion from a
+//! scorer into a *debugger*: instead of only reporting that x% of
+//! high-confidence triples are labelled false, it classifies those false
+//! positives into actionable buckets — values that are merely *too
+//! general* (fix: hierarchy-aware matching), gold-list artifacts of the
+//! local closed-world assumption (fix: nothing, the triple is fine),
+//! systematic extraction breakages (fix: that extractor's pattern), and
+//! entity/triple-linkage mistakes (fix: the linkage tools). This crate
+//! reproduces that analysis automatically, with per-extractor
+//! attribution:
+//!
+//! 1. [`SupportIndex::build`] derives each unique triple's support shape
+//!    (distinct pages per extractor) from the raw extraction batch — one
+//!    MapReduce job on the `kf-mapreduce` engine, inheriting its
+//!    chunked/spill residency envelope.
+//! 2. [`Diagnoser::run`] classifies every labelled false positive in the
+//!    configured high-confidence bands with the heuristic rules of
+//!    [`classify::classify`] (a second MapReduce job), and aggregates
+//!    error mass per confidence band, per predicate, per extractor and
+//!    per support spread into a [`TaxonomyReport`].
+//! 3. Because the synthetic corpus tags each extraction with its
+//!    generator-truth `ExtractionOutcome` (`kf-synth` exposes the join
+//!    as `Corpus::taxonomy_truth`), the heuristic attribution is
+//!    *measured*: the report carries the heuristic-vs-injected confusion
+//!    matrix, and a CI gate keeps attribution accuracy on injected
+//!    systematic/generalized errors at ≥ 90%.
+//!
+//! ```
+//! use kf_core::{Fuser, FusionConfig};
+//! use kf_diagnose::{Diagnoser, SupportIndex};
+//! use kf_mapreduce::MrConfig;
+//! use kf_synth::{Corpus, SynthConfig};
+//!
+//! let corpus = Corpus::generate(&SynthConfig::tiny(), 42);
+//! let (output, attribution) =
+//!     Fuser::new(FusionConfig::popaccu()).run_with_attribution(&corpus.batch, None);
+//! let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::default());
+//! let truth = corpus.taxonomy_truth();
+//! let (report, _stats) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+//!     .with_truth(&truth)
+//!     .with_attribution(&attribution)
+//!     .run(&output);
+//! // The categories partition the high-band false positives exactly.
+//! for band in &report.bands {
+//!     assert_eq!(band.counts.total(), band.n_labelled - band.n_true);
+//! }
+//! ```
+
+pub mod classify;
+pub mod support;
+
+pub use classify::{classify, ClassifierThresholds};
+pub use support::{SupportIndex, SupportProfile};
+
+use kf_core::{FusionOutput, ProvenanceAttribution};
+use kf_mapreduce::{map_reduce_with_stats, Emitter, JobStats, MrConfig};
+use kf_types::{
+    BandBreakdown, CategoryAccuracy, CategoryCounts, ConfusionCell, ErrorCategory, FxHashMap,
+    GoldStandard, GroupBreakdown, Spread, TaxonomyReport, Triple, ValueHierarchy,
+};
+
+/// Configuration of the diagnosis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseConfig {
+    /// Ascending lower edges of the confidence bands to diagnose; band
+    /// `i` covers `[edges[i], edges[i + 1])` and the last band is closed
+    /// at 1.0. Triples below `edges[0]` are out of scope — the paper
+    /// analyses false positives *above the acceptance threshold* (§3.2.2
+    /// trusts triples with probability over 0.5 and Fig. 17 splits them
+    /// into bands). Defaults to `[0.5, 0.8, 0.9]`.
+    pub band_edges: Vec<f64>,
+    /// Classifier thresholds (rules 2 and 3).
+    pub thresholds: ClassifierThresholds,
+    /// Engine configuration for the classification job.
+    pub mr: MrConfig,
+}
+
+impl Default for DiagnoseConfig {
+    fn default() -> Self {
+        DiagnoseConfig {
+            band_edges: vec![0.5, 0.8, 0.9],
+            thresholds: ClassifierThresholds::default(),
+            mr: MrConfig::default(),
+        }
+    }
+}
+
+/// Classifies a fusion output's high-confidence false positives into the
+/// Fig. 17 taxonomy. Borrow-based builder: construct with the required
+/// context, chain the optional joins, then [`Diagnoser::run`].
+#[derive(Debug, Clone)]
+pub struct Diagnoser<'a, H: ValueHierarchy + Sync> {
+    gold: &'a GoldStandard,
+    hierarchy: &'a H,
+    support: &'a SupportIndex,
+    truth: Option<&'a FxHashMap<Triple, ErrorCategory>>,
+    attribution: Option<&'a ProvenanceAttribution>,
+    extractor_labels: &'a [String],
+    cfg: DiagnoseConfig,
+}
+
+// Shuffle key of the classification job: (dimension, key-within-
+// dimension, category-or-tag). One reducer call per taxonomy cell.
+type TaxKey = (u8, u32, u8);
+// Shuffle value: (count, accuracy mass).
+type TaxVal = (u64, f64);
+
+/// Band stat rows (`DIM_BAND_STAT`): labelled / true counters.
+const DIM_BAND_STAT: u8 = 0;
+const TAG_LABELLED: u8 = 0;
+const TAG_TRUE: u8 = 1;
+/// False positives per (band, category).
+const DIM_BAND_CAT: u8 = 1;
+/// False positives per (predicate, category).
+const DIM_PREDICATE: u8 = 2;
+/// False positives per (supporting extractor, category).
+const DIM_EXTRACTOR: u8 = 3;
+/// False positives per (support spread class, category).
+const DIM_SPREAD: u8 = 4;
+/// Confusion cells: key = injected category, tag = heuristic category.
+const DIM_CONFUSION: u8 = 5;
+/// Mean-provenance-accuracy mass per heuristic category.
+const DIM_ACCURACY: u8 = 6;
+
+impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
+    /// A diagnoser over the required context: the gold standard the
+    /// output was labelled against, the value-hierarchy ontology, and the
+    /// batch's [`SupportIndex`].
+    pub fn new(gold: &'a GoldStandard, hierarchy: &'a H, support: &'a SupportIndex) -> Self {
+        Diagnoser {
+            gold,
+            hierarchy,
+            support,
+            truth: None,
+            attribution: None,
+            extractor_labels: &[],
+            cfg: DiagnoseConfig::default(),
+        }
+    }
+
+    /// Join against generator-truth categories (from
+    /// `kf_synth::Corpus::taxonomy_truth`): fills the confusion matrix
+    /// and the attribution-accuracy gates.
+    pub fn with_truth(mut self, truth: &'a FxHashMap<Triple, ErrorCategory>) -> Self {
+        self.truth = Some(truth);
+        self
+    }
+
+    /// Join against the fusion run's provenance attribution: adds the
+    /// mean final learned accuracy of each category's supporting
+    /// provenances (systematic errors ride on provenances the fusion
+    /// *trusts* — that is why they calibrate badly).
+    pub fn with_attribution(mut self, attribution: &'a ProvenanceAttribution) -> Self {
+        self.attribution = Some(attribution);
+        self
+    }
+
+    /// Human-readable extractor names (indexed by extractor id) for the
+    /// per-extractor breakdown; unnamed ids render as `extractor_<id>`.
+    pub fn with_extractor_labels(mut self, labels: &'a [String]) -> Self {
+        self.extractor_labels = labels;
+        self
+    }
+
+    /// Replace the configuration (bands, thresholds, engine knobs).
+    pub fn with_config(mut self, cfg: DiagnoseConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Classify `output`'s high-band false positives and assemble the
+    /// taxonomy. Runs as one MapReduce job on the configured engine;
+    /// returns the job's execution counters alongside the report. The
+    /// report is deterministic: independent of workers, partitions,
+    /// chunking and spilling.
+    pub fn run(&self, output: &FusionOutput) -> (TaxonomyReport, JobStats) {
+        // Sanitised ascending band edges (callers constructing configs by
+        // hand may pass unsorted or empty edges).
+        let mut edges: Vec<f64> = self
+            .cfg
+            .band_edges
+            .iter()
+            .copied()
+            .filter(|e| e.is_finite())
+            .collect();
+        edges.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite edges"));
+        edges.dedup();
+        if edges.is_empty() {
+            edges.push(0.0);
+        }
+
+        let indices: Vec<usize> = (0..output.scored.len()).collect();
+        let edges_ref = &edges;
+        let (cells, stats) = map_reduce_with_stats(
+            &self.cfg.mr,
+            &indices,
+            |&i, emit: &mut Emitter<TaxKey, TaxVal>| self.map_one(output, edges_ref, i, emit),
+            // Values arrive in input order (engine guarantee), so the f64
+            // accuracy mass sums deterministically.
+            |key, values| {
+                let mut count = 0u64;
+                let mut mass = 0.0f64;
+                for (c, m) in values {
+                    count += c;
+                    mass += m;
+                }
+                vec![(*key, (count, mass))]
+            },
+        );
+        (self.assemble(&edges, cells), stats)
+    }
+
+    /// Mapper: classify scored triple `i` and emit its taxonomy cells.
+    fn map_one(
+        &self,
+        output: &FusionOutput,
+        edges: &[f64],
+        i: usize,
+        emit: &mut Emitter<TaxKey, TaxVal>,
+    ) {
+        let s = &output.scored[i];
+        let Some(p) = s.probability else { return };
+        // Non-finite probabilities (a hand-built FusionOutput; fusion
+        // never produces them) cannot be banded — out of scope, like
+        // sub-threshold triples.
+        if !p.is_finite() || p < edges[0] {
+            return;
+        }
+        let band = (edges.iter().take_while(|&&e| p >= e).count() - 1) as u32;
+        let label = self.gold.label(&s.triple);
+        let Some(is_true) = label.as_bool() else {
+            return;
+        };
+        emit.emit((DIM_BAND_STAT, band, TAG_LABELLED), (1, 0.0));
+        if is_true {
+            emit.emit((DIM_BAND_STAT, band, TAG_TRUE), (1, 0.0));
+            return;
+        }
+
+        // A labelled-false triple: classify it.
+        let gold_values = self.gold.values(&s.triple.data_item()).unwrap_or(&[]);
+        let profile = self.support.get(&s.triple);
+        let cat = classify(
+            &s.triple,
+            gold_values,
+            profile,
+            self.hierarchy,
+            &self.cfg.thresholds,
+        );
+        let cat_tag = cat.index() as u8;
+        emit.emit((DIM_BAND_CAT, band, cat_tag), (1, 0.0));
+        emit.emit((DIM_PREDICATE, s.triple.predicate.raw(), cat_tag), (1, 0.0));
+        let spread = Spread::of(s.n_extractors, s.n_pages);
+        emit.emit((DIM_SPREAD, spread as u32, cat_tag), (1, 0.0));
+        if let Some(p) = profile {
+            for &(ext, _) in &p.per_extractor {
+                emit.emit((DIM_EXTRACTOR, ext.raw() as u32, cat_tag), (1, 0.0));
+            }
+        }
+        if let Some(truth) = self.truth {
+            if let Some(&injected) = truth.get(&s.triple) {
+                emit.emit((DIM_CONFUSION, injected.index() as u32, cat_tag), (1, 0.0));
+            }
+        }
+        if let Some(attribution) = self.attribution {
+            if let Some(mean) = attribution.mean_accuracy(i) {
+                emit.emit((DIM_ACCURACY, cat.index() as u32, 0), (1, mean));
+            }
+        }
+    }
+
+    /// Assemble the reduced cells into a [`TaxonomyReport`]. Cells are
+    /// re-sorted globally so the report does not depend on the engine's
+    /// partition layout.
+    fn assemble(&self, edges: &[f64], mut cells: Vec<(TaxKey, TaxVal)>) -> TaxonomyReport {
+        cells.sort_unstable_by_key(|&(key, _)| key);
+
+        let mut bands: Vec<BandBreakdown> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &lo)| BandBreakdown {
+                lo,
+                hi: edges.get(i + 1).copied().unwrap_or(1.0),
+                n_labelled: 0,
+                n_true: 0,
+                counts: CategoryCounts::default(),
+            })
+            .collect();
+        let mut predicates: Vec<GroupBreakdown> = Vec::new();
+        let mut extractors: Vec<GroupBreakdown> = Vec::new();
+        let mut spread: Vec<GroupBreakdown> = Vec::new();
+        let mut confusion: Vec<ConfusionCell> = Vec::new();
+        let mut accuracy_mass = [(0u64, 0.0f64); ErrorCategory::COUNT];
+
+        // Cells arrive sorted by (dim, key, tag): group rows append in
+        // order within each dimension.
+        fn group_slot(
+            groups: &mut Vec<GroupBreakdown>,
+            key: u32,
+            label: String,
+        ) -> &mut GroupBreakdown {
+            if groups.last().map(|g| g.key) != Some(key) {
+                groups.push(GroupBreakdown {
+                    key,
+                    label,
+                    counts: CategoryCounts::default(),
+                });
+            }
+            groups.last_mut().expect("slot just ensured")
+        }
+
+        for ((dim, key, tag), (count, mass)) in cells {
+            let cat = ErrorCategory::from_index(tag as usize);
+            match dim {
+                DIM_BAND_STAT => {
+                    let band = &mut bands[key as usize];
+                    match tag {
+                        TAG_LABELLED => band.n_labelled += count,
+                        TAG_TRUE => band.n_true += count,
+                        _ => unreachable!("unknown band stat tag {tag}"),
+                    }
+                }
+                DIM_BAND_CAT => {
+                    bands[key as usize]
+                        .counts
+                        .add(cat.expect("category tag"), count);
+                }
+                DIM_PREDICATE => {
+                    group_slot(&mut predicates, key, format!("predicate_{key}"))
+                        .counts
+                        .add(cat.expect("category tag"), count);
+                }
+                DIM_EXTRACTOR => {
+                    let label = self
+                        .extractor_labels
+                        .get(key as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("extractor_{key}"));
+                    group_slot(&mut extractors, key, label)
+                        .counts
+                        .add(cat.expect("category tag"), count);
+                }
+                DIM_SPREAD => {
+                    let class = Spread::ALL[key as usize];
+                    group_slot(&mut spread, key, class.name().to_string())
+                        .counts
+                        .add(cat.expect("category tag"), count);
+                }
+                DIM_CONFUSION => {
+                    confusion.push(ConfusionCell {
+                        heuristic: cat.expect("category tag"),
+                        injected: ErrorCategory::from_index(key as usize)
+                            .expect("injected category key"),
+                        count,
+                    });
+                }
+                DIM_ACCURACY => {
+                    let slot = &mut accuracy_mass[key as usize];
+                    slot.0 += count;
+                    slot.1 += mass;
+                }
+                other => unreachable!("unknown taxonomy dimension {other}"),
+            }
+        }
+        confusion.sort_unstable_by_key(|c| (c.heuristic, c.injected));
+
+        let gate = |injected: ErrorCategory| -> Option<CategoryAccuracy> {
+            self.truth?;
+            let mut acc = CategoryAccuracy::default();
+            for cell in &confusion {
+                if cell.injected == injected {
+                    acc.total += cell.count;
+                    if cell.heuristic == injected {
+                        acc.correct += cell.count;
+                    }
+                }
+            }
+            Some(acc)
+        };
+
+        let mean_prov_accuracy: Vec<(ErrorCategory, f64)> = ErrorCategory::ALL
+            .into_iter()
+            .filter_map(|c| {
+                let (n, mass) = accuracy_mass[c.index()];
+                (n > 0).then(|| (c, mass / n as f64))
+            })
+            .collect();
+
+        let n_false_positives = bands.iter().map(|b| b.counts.total()).sum();
+        let n_labelled = bands.iter().map(|b| b.n_labelled).sum();
+        TaxonomyReport {
+            systematic_attribution: gate(ErrorCategory::SystematicExtraction),
+            generalized_attribution: gate(ErrorCategory::WrongButGeneral),
+            bands,
+            predicates,
+            extractors,
+            spread,
+            confusion,
+            mean_prov_accuracy,
+            n_false_positives,
+            n_labelled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_core::{Fuser, FusionConfig};
+    use kf_synth::{Corpus, SynthConfig};
+
+    fn diagnose_tiny(seed: u64) -> (Corpus, TaxonomyReport) {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), seed);
+        let (output, attribution) = Fuser::new(FusionConfig::popaccu().with_workers(2))
+            .run_with_attribution(&corpus.batch, None);
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::with_workers(2));
+        let truth = corpus.taxonomy_truth();
+        let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_truth(&truth)
+            .with_attribution(&attribution)
+            .with_extractor_labels(&labels)
+            .run(&output);
+        (corpus, report)
+    }
+
+    #[test]
+    fn bands_partition_false_positives_and_match_a_direct_count() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 3);
+        let output = Fuser::new(FusionConfig::popaccu().with_workers(2)).run(&corpus.batch, None);
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::with_workers(2));
+        let cfg = DiagnoseConfig {
+            band_edges: vec![0.8, 0.9],
+            ..Default::default()
+        };
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_config(cfg)
+            .run(&output);
+
+        // Independent sequential count of labelled/true per band.
+        let edges = [0.8, 0.9];
+        let mut labelled = [0u64; 2];
+        let mut true_count = [0u64; 2];
+        for s in &output.scored {
+            let Some(p) = s.probability else { continue };
+            if p < edges[0] {
+                continue;
+            }
+            let band = if p >= edges[1] { 1 } else { 0 };
+            if let Some(t) = corpus.gold.label(&s.triple).as_bool() {
+                labelled[band] += 1;
+                true_count[band] += t as u64;
+            }
+        }
+        assert_eq!(report.bands.len(), 2);
+        for (i, band) in report.bands.iter().enumerate() {
+            assert_eq!(band.n_labelled, labelled[i], "band {i} labelled");
+            assert_eq!(band.n_true, true_count[i], "band {i} true");
+            assert_eq!(
+                band.counts.total(),
+                band.n_labelled - band.n_true,
+                "band {i} categories must partition its false positives"
+            );
+        }
+        assert!(report.n_false_positives > 0, "no FPs diagnosed");
+    }
+
+    #[test]
+    fn confusion_matrix_covers_every_false_positive() {
+        let (_, report) = diagnose_tiny(7);
+        let confusion_total: u64 = report.confusion.iter().map(|c| c.count).sum();
+        assert_eq!(confusion_total, report.n_false_positives);
+        // The gates exist when truth is provided.
+        assert!(report.systematic_attribution.is_some());
+        assert!(report.generalized_attribution.is_some());
+        // Mean provenance accuracies are probabilities.
+        for &(_, acc) in &report.mean_prov_accuracy {
+            assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn secondary_dimensions_conserve_mass() {
+        let (_, report) = diagnose_tiny(11);
+        let band_total = report.n_false_positives;
+        let pred_total: u64 = report.predicates.iter().map(|g| g.counts.total()).sum();
+        let spread_total: u64 = report.spread.iter().map(|g| g.counts.total()).sum();
+        assert_eq!(pred_total, band_total, "predicate mass");
+        assert_eq!(spread_total, band_total, "spread mass");
+        // Extractor mass can exceed the FP count (a triple counts toward
+        // every supporting extractor) but never undershoots it.
+        let ext_total: u64 = report.extractors.iter().map(|g| g.counts.total()).sum();
+        assert!(ext_total >= band_total, "extractor mass {ext_total}");
+        // Extractor labels resolve through the provided names.
+        assert!(report.extractors.iter().all(|g| !g.label.is_empty()));
+    }
+
+    #[test]
+    fn report_is_independent_of_engine_configuration() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 5);
+        let output = Fuser::new(FusionConfig::popaccu().with_workers(2)).run(&corpus.batch, None);
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::with_workers(2));
+        let truth = corpus.taxonomy_truth();
+        let run = |mr: MrConfig| {
+            let cfg = DiagnoseConfig {
+                mr,
+                ..Default::default()
+            };
+            Diagnoser::new(&corpus.gold, &corpus.world, &support)
+                .with_truth(&truth)
+                .with_config(cfg)
+                .run(&output)
+                .0
+        };
+        let base = run(MrConfig::sequential());
+        for mr in [
+            MrConfig::with_workers(8),
+            MrConfig::with_workers(3).with_chunk_records(64),
+            MrConfig::with_workers(2)
+                .with_chunk_records(32)
+                .with_spill_threshold(64),
+        ] {
+            assert_eq!(base, run(mr));
+        }
+    }
+
+    #[test]
+    fn empty_output_yields_empty_report() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 2);
+        let (support, _) = SupportIndex::build(&[], &MrConfig::sequential());
+        let output = Fuser::new(FusionConfig::vote()).run(&kf_types::ExtractionBatch::new(), None);
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support).run(&output);
+        assert_eq!(report.n_false_positives, 0);
+        assert_eq!(report.n_labelled, 0);
+        assert!(report.predicates.is_empty());
+        assert!(report.confusion.is_empty());
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_skipped_not_banded() {
+        // All ScoredTriple fields are public, so a hand-built output can
+        // carry a NaN probability; it must fall out of scope instead of
+        // underflowing the band index.
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 4);
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::sequential());
+        let mut output =
+            Fuser::new(FusionConfig::popaccu().with_workers(2)).run(&corpus.batch, None);
+        let (finite, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support).run(&output);
+        output.scored[0].probability = Some(f64::NAN);
+        output.scored[1].probability = Some(f64::INFINITY);
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support).run(&output);
+        // The two poisoned rows contribute nothing; everything else is
+        // unchanged, so the labelled mass drops by at most 2.
+        assert!(report.n_labelled + 2 >= finite.n_labelled);
+        for band in &report.bands {
+            assert_eq!(band.counts.total(), band.n_labelled - band.n_true);
+        }
+    }
+
+    #[test]
+    fn band_edges_are_sanitised() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 2);
+        let output = Fuser::new(FusionConfig::popaccu().with_workers(2)).run(&corpus.batch, None);
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::with_workers(2));
+        // Unsorted, duplicated, non-finite edges must not panic.
+        let cfg = DiagnoseConfig {
+            band_edges: vec![0.9, f64::NAN, 0.5, 0.9],
+            ..Default::default()
+        };
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_config(cfg)
+            .run(&output);
+        assert_eq!(report.bands.len(), 2);
+        assert_eq!(report.bands[0].lo, 0.5);
+        assert_eq!(report.bands[1].lo, 0.9);
+        // Empty edges degrade to a single all-covering band.
+        let cfg = DiagnoseConfig {
+            band_edges: vec![],
+            ..Default::default()
+        };
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_config(cfg)
+            .run(&output);
+        assert_eq!(report.bands.len(), 1);
+        assert_eq!(report.bands[0].lo, 0.0);
+    }
+}

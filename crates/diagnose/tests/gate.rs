@@ -1,0 +1,101 @@
+//! The attribution-accuracy gate (ignored by default; CI runs it in
+//! release on every push):
+//!
+//! ```text
+//! cargo test --release -p kf-diagnose --test gate -- --ignored
+//! ```
+//!
+//! On the default (paper-scale) corpus, across all five presets, ≥ 90% of
+//! the injected `SystematicError` and `Generalized` outcomes among the
+//! diagnosed false positives must be attributed to the correct heuristic
+//! category — the acceptance bound for the Fig. 17 reproduction.
+//! Classifier regressions fail this test, and therefore the build.
+
+use kf_core::{Fuser, FusionConfig};
+use kf_diagnose::{Diagnoser, SupportIndex};
+use kf_mapreduce::MrConfig;
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::CategoryAccuracy;
+
+#[test]
+#[ignore]
+fn attribution_accuracy_on_default_corpus() {
+    let corpus = Corpus::generate(&SynthConfig::paper(), 42);
+    let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::default());
+    let truth = corpus.taxonomy_truth();
+    let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+
+    let presets: [(&str, FusionConfig, bool); 5] = [
+        ("vote", FusionConfig::vote(), false),
+        ("accu", FusionConfig::accu(), false),
+        ("popaccu", FusionConfig::popaccu(), false),
+        (
+            "popaccu_plus_unsup",
+            FusionConfig::popaccu_plus_unsup(),
+            false,
+        ),
+        ("popaccu_plus", FusionConfig::popaccu_plus(), true),
+    ];
+    let mut systematic = CategoryAccuracy::default();
+    let mut generalized = CategoryAccuracy::default();
+    for (name, cfg, needs_gold) in presets {
+        let gold = needs_gold.then_some(&corpus.gold);
+        let (output, attribution) = Fuser::new(cfg).run_with_attribution(&corpus.batch, gold);
+        let (report, _) = Diagnoser::new(&corpus.gold, &corpus.world, &support)
+            .with_truth(&truth)
+            .with_attribution(&attribution)
+            .with_extractor_labels(&labels)
+            .run(&output);
+        let sys = report.systematic_attribution.expect("truth join provided");
+        let gen = report.generalized_attribution.expect("truth join provided");
+        eprintln!(
+            "{name:20}: {} FPs of {} labelled | systematic {}/{} generalized {}/{}",
+            report.n_false_positives,
+            report.n_labelled,
+            sys.correct,
+            sys.total,
+            gen.correct,
+            gen.total,
+        );
+        systematic.correct += sys.correct;
+        systematic.total += sys.total;
+        generalized.correct += gen.correct;
+        generalized.total += gen.total;
+    }
+    eprintln!(
+        "aggregate: systematic {}/{} ({:.1}%), generalized {}/{} ({:.1}%)",
+        systematic.correct,
+        systematic.total,
+        100.0 * systematic.accuracy(),
+        generalized.correct,
+        generalized.total,
+        100.0 * generalized.accuracy(),
+    );
+
+    // A gate over a handful of samples would be noise; the default corpus
+    // must surface a real population of both injected kinds.
+    assert!(
+        systematic.total >= 50,
+        "only {} injected-systematic diagnosed FPs — corpus regressed",
+        systematic.total
+    );
+    assert!(
+        generalized.total >= 10,
+        "only {} injected-generalized diagnosed FPs — corpus regressed",
+        generalized.total
+    );
+    assert!(
+        systematic.accuracy() >= 0.9,
+        "systematic attribution accuracy {:.3} below the 0.9 gate ({}/{})",
+        systematic.accuracy(),
+        systematic.correct,
+        systematic.total
+    );
+    assert!(
+        generalized.accuracy() >= 0.9,
+        "generalized attribution accuracy {:.3} below the 0.9 gate ({}/{})",
+        generalized.accuracy(),
+        generalized.correct,
+        generalized.total
+    );
+}

@@ -54,8 +54,31 @@
 //!                                    // evenly strided subsample, at most
 //!                                    // MAX_PR_POINTS_IN_REPORT + final point
 //!       },
-//!       "fuse_ms": …                 // wall clock; the one nondeterministic
-//!     }, …                           //   field
+//!       "fuse_ms": …,                // wall clock; the one nondeterministic
+//!                                    //   field
+//!       "taxonomy": {                // Fig. 17 error taxonomy (kf-diagnose);
+//!                                    //   omitted when diagnosis did not run
+//!         "n_false_positives": …,    // classified FPs across all bands
+//!         "n_labelled": …,           // labelled predicted triples in scope
+//!         "bands": [                 // per confidence band, ascending
+//!           {"lo": …, "hi": …, "n_labelled": …, "n_true": …,
+//!            "categories": {"wrong_but_general": …, "lcwa_artifact": …,
+//!                           "systematic_extraction": …, "linkage_error": …}},
+//!           …                        // invariant: the four categories sum to
+//!         ],                         //   n_labelled - n_true (exact partition)
+//!         "predicates":  [ {"key": …, "label": …, "categories": {…}}, … ],
+//!         "extractors":  [ … ],      // one FP counts toward EVERY supporting
+//!                                    //   extractor (per-extractor attribution)
+//!         "spread":      [ … ],      // support-shape classes (pages×extractors)
+//!         "confusion": [             // heuristic vs generator-injected category
+//!           {"heuristic": "…", "injected": "…", "count": …}, …
+//!         ],
+//!         "mean_prov_accuracy": {"systematic_extraction": …, …},
+//!         "systematic_attribution":  // the ≥0.9 CI gates (null when no
+//!           {"correct": …, "total": …, "accuracy": …},  // ground truth)
+//!         "generalized_attribution": {…}|null
+//!       }
+//!     }, …
 //!   ]
 //! }
 //! ```
@@ -69,6 +92,7 @@ use crate::calibration::{CalibrationBin, CalibrationCurve};
 use crate::json::Json;
 use crate::labels::LabeledOutput;
 use crate::pr::PrCurve;
+use kf_types::{ErrorCategory, TaxonomyReport};
 
 /// Maximum PR points serialized per method; the full curve (one point per
 /// distinct probability) stays in memory, the report keeps an evenly
@@ -105,6 +129,10 @@ pub struct MethodEval {
     pub precision_at: Vec<(usize, f64)>,
     /// Wall-clock milliseconds spent fusing (excludes evaluation).
     pub fuse_ms: f64,
+    /// Fig. 17-style error taxonomy of the method's high-confidence false
+    /// positives, when the diagnosis pass ran (`kf-diagnose`; the `repro`
+    /// harness attaches one per preset). `None` omits the section.
+    pub taxonomy: Option<TaxonomyReport>,
 }
 
 impl MethodEval {
@@ -124,7 +152,7 @@ impl MethodEval {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&'static str, Json)> = vec![
             ("name", Json::from(self.name.clone())),
             ("label", Json::from(self.label.clone())),
             ("n_scored", Json::from(self.n_scored)),
@@ -152,8 +180,86 @@ impl MethodEval {
             ),
             ("pr_curve", pr_to_json(&self.pr)),
             ("fuse_ms", Json::from(self.fuse_ms)),
-        ])
+        ];
+        if let Some(taxonomy) = &self.taxonomy {
+            fields.push(("taxonomy", taxonomy_to_json(taxonomy)));
+        }
+        Json::obj(fields)
     }
+}
+
+/// One count per category as a JSON object keyed by category name.
+fn counts_to_json(c: &kf_types::CategoryCounts) -> Json {
+    Json::obj(
+        ErrorCategory::ALL
+            .into_iter()
+            .map(|cat| (cat.name(), Json::from(c.get(cat)))),
+    )
+}
+
+/// Serialize a [`TaxonomyReport`] (see the schema note in the module
+/// docs).
+pub fn taxonomy_to_json(t: &TaxonomyReport) -> Json {
+    let group = |g: &kf_types::GroupBreakdown| {
+        Json::obj([
+            ("key", Json::from(g.key as u64)),
+            ("label", Json::from(g.label.clone())),
+            ("categories", counts_to_json(&g.counts)),
+        ])
+    };
+    let accuracy = |a: &Option<kf_types::CategoryAccuracy>| match a {
+        None => Json::Null,
+        Some(a) => Json::obj([
+            ("correct", Json::from(a.correct)),
+            ("total", Json::from(a.total)),
+            ("accuracy", Json::from(a.accuracy())),
+        ]),
+    };
+    Json::obj([
+        ("n_false_positives", Json::from(t.n_false_positives)),
+        ("n_labelled", Json::from(t.n_labelled)),
+        (
+            "bands",
+            Json::arr(t.bands.iter().map(|b| {
+                Json::obj([
+                    ("lo", Json::from(b.lo)),
+                    ("hi", Json::from(b.hi)),
+                    ("n_labelled", Json::from(b.n_labelled)),
+                    ("n_true", Json::from(b.n_true)),
+                    ("categories", counts_to_json(&b.counts)),
+                ])
+            })),
+        ),
+        ("predicates", Json::arr(t.predicates.iter().map(group))),
+        ("extractors", Json::arr(t.extractors.iter().map(group))),
+        ("spread", Json::arr(t.spread.iter().map(group))),
+        (
+            "confusion",
+            Json::arr(t.confusion.iter().map(|c| {
+                Json::obj([
+                    ("heuristic", Json::from(c.heuristic.name())),
+                    ("injected", Json::from(c.injected.name())),
+                    ("count", Json::from(c.count)),
+                ])
+            })),
+        ),
+        (
+            "mean_prov_accuracy",
+            Json::obj(
+                t.mean_prov_accuracy
+                    .iter()
+                    .map(|&(cat, acc)| (cat.name(), Json::from(acc))),
+            ),
+        ),
+        (
+            "systematic_attribution",
+            accuracy(&t.systematic_attribution),
+        ),
+        (
+            "generalized_attribution",
+            accuracy(&t.generalized_attribution),
+        ),
+    ])
 }
 
 fn bin_to_json(b: &CalibrationBin) -> Json {
@@ -326,6 +432,7 @@ pub fn evaluate_labeled(
         pr: pr_curve_sorted(&sorted),
         precision_at,
         fuse_ms,
+        taxonomy: None,
     }
 }
 
@@ -352,6 +459,7 @@ mod tests {
             pr: pr_curve(&preds),
             precision_at: vec![(100, 0.5)],
             fuse_ms: 1.0,
+            taxonomy: None,
         }
     }
 
@@ -408,6 +516,77 @@ mod tests {
         assert_eq!(table.lines().count(), 3);
         assert!(table.contains("VOTE"));
         assert!(table.contains("POPACCU_PLUS"));
+    }
+
+    #[test]
+    fn taxonomy_section_serializes_when_present() {
+        use kf_types::{
+            BandBreakdown, CategoryAccuracy, CategoryCounts, ConfusionCell, GroupBreakdown,
+        };
+        let mut counts = CategoryCounts::default();
+        counts.add(ErrorCategory::SystematicExtraction, 4);
+        counts.add(ErrorCategory::LcwaArtifact, 6);
+        let taxonomy = TaxonomyReport {
+            bands: vec![BandBreakdown {
+                lo: 0.9,
+                hi: 1.0,
+                n_labelled: 30,
+                n_true: 20,
+                counts,
+            }],
+            predicates: vec![GroupBreakdown {
+                key: 7,
+                label: "predicate_7".into(),
+                counts,
+            }],
+            extractors: vec![GroupBreakdown {
+                key: 1,
+                label: "TXT2".into(),
+                counts,
+            }],
+            spread: vec![],
+            confusion: vec![ConfusionCell {
+                heuristic: ErrorCategory::SystematicExtraction,
+                injected: ErrorCategory::SystematicExtraction,
+                count: 4,
+            }],
+            mean_prov_accuracy: vec![(ErrorCategory::SystematicExtraction, 0.93)],
+            systematic_attribution: Some(CategoryAccuracy {
+                correct: 4,
+                total: 4,
+            }),
+            generalized_attribution: None,
+            n_false_positives: 10,
+            n_labelled: 30,
+        };
+        let mut m = method("vote", 0.1);
+        // Without a taxonomy the key is omitted entirely.
+        assert!(!Json::obj([("m", m.to_json())])
+            .to_string_compact()
+            .contains("\"taxonomy\""));
+        m.taxonomy = Some(taxonomy);
+        let s = m.to_json().to_string_pretty();
+        for field in [
+            "\"taxonomy\"",
+            "\"bands\"",
+            "\"categories\"",
+            "\"systematic_extraction\"",
+            "\"lcwa_artifact\"",
+            "\"wrong_but_general\"",
+            "\"linkage_error\"",
+            "\"confusion\"",
+            "\"heuristic\"",
+            "\"injected\"",
+            "\"extractors\"",
+            "\"TXT2\"",
+            "\"mean_prov_accuracy\"",
+            "\"systematic_attribution\"",
+            "\"accuracy\"",
+        ] {
+            assert!(s.contains(field), "missing {field} in taxonomy JSON");
+        }
+        // The absent gate serializes as null.
+        assert!(s.contains("\"generalized_attribution\": null"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::stats::JobStats;
 use kf_types::hash::hash_one;
 use kf_types::{FxHashMap, KvCodec};
 use std::hash::Hash;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -566,6 +566,10 @@ where
     (partition_records, map_output)
 }
 
+/// One batch handed to the spill-writer thread: taken partition
+/// accumulators with the run paths they must be written to.
+type SpillBatch<K, V> = Vec<(Groups<K, V>, PathBuf)>;
+
 /// Wave-based shuffle with optional combining and spilling: map bounded
 /// input waves, merging each wave's buffers into per-partition group
 /// accumulators as they fill (so at most roughly `quota` raw records are
@@ -573,6 +577,17 @@ where
 /// all accumulators to sorted run files whenever merging the next wave
 /// would push grouped residency past `spill_threshold` (`0` = never).
 /// Wave sizes adapt to the observed mapper fan-out.
+///
+/// Run-file encode+write runs on a dedicated **spill-writer thread**,
+/// double-buffered against the next wave's map work: the coordinating
+/// thread snapshots the accumulators, records the (deterministic) run
+/// paths, hands the batch over a rendezvous channel and immediately goes
+/// back to mapping, so disk I/O overlaps CPU work instead of stalling the
+/// wave loop. At most one batch is in flight (plus at most one waiting at
+/// the rendezvous), so transient memory stays bounded by ~2× the spill
+/// threshold; spill *points*, run contents and all `JobStats` counters
+/// are byte-identical to the synchronous path — the writer thread only
+/// changes *when* the bytes hit disk, never which bytes.
 #[allow(clippy::too_many_arguments)]
 fn shuffle_external<I, K, V, M>(
     inputs: &[I],
@@ -599,57 +614,112 @@ where
     let mut spilled_bytes = 0u64;
     let mut resident = 0u64; // grouped records currently accumulated
     let mut peak_grouped = 0u64;
-    let mut consumed = 0usize;
     let mut emitted_total = 0u64;
     let mut peak_raw = 0u64;
-    let mut last_wave = (0usize, 0u64);
-    while consumed < inputs.len() {
-        // Two rules size each wave:
-        //
-        // 1. The PREVIOUS wave's observed fan-out divides the quota — a
-        //    local estimate tracks skewed inputs (e.g. items sorted so
-        //    that high-fan-out regions cluster) far better than a global
-        //    running average. It is floored at 1, so a wave never takes
-        //    more than `quota` inputs and a low-emission prefix cannot
-        //    grow a catch-up wave whose emissions dwarf the quota once
-        //    the mapper starts emitting again. (Sub-quota waves from
-        //    fan-out < 1 are cheap: small waves merge inline, and the
-        //    map scan cost is the same however it is sliced.)
-        // 2. A wave takes at most 2× the previous wave's inputs,
-        //    starting from 1 — a geometric ramp, so even when the input
-        //    *starts* in its hottest region (Zipf-head items first) the
-        //    cold estimate can only overshoot the quota by ~2×, at the
-        //    cost of ~log2(quota) tiny ramp-up waves.
-        let wave_len = if consumed == 0 {
-            1
-        } else {
-            let fanout = (last_wave.1 as f64 / last_wave.0 as f64).max(1.0);
-            (((quota as f64) / fanout).ceil() as usize).min(last_wave.0.saturating_mul(2))
+    std::thread::scope(|scope| {
+        type Writer<'s, K, V> = (
+            std::sync::mpsc::SyncSender<SpillBatch<K, V>>,
+            std::thread::ScopedJoinHandle<'s, u64>,
+        );
+        // Spawned lazily on the first spill; jobs that never spill never
+        // pay for the thread.
+        let mut writer: Option<Writer<'_, K, V>> = None;
+        let mut consumed = 0usize;
+        let mut last_wave = (0usize, 0u64);
+        while consumed < inputs.len() {
+            // Two rules size each wave:
+            //
+            // 1. The PREVIOUS wave's observed fan-out divides the quota — a
+            //    local estimate tracks skewed inputs (e.g. items sorted so
+            //    that high-fan-out regions cluster) far better than a global
+            //    running average. It is floored at 1, so a wave never takes
+            //    more than `quota` inputs and a low-emission prefix cannot
+            //    grow a catch-up wave whose emissions dwarf the quota once
+            //    the mapper starts emitting again. (Sub-quota waves from
+            //    fan-out < 1 are cheap: small waves merge inline, and the
+            //    map scan cost is the same however it is sliced.)
+            // 2. A wave takes at most 2× the previous wave's inputs,
+            //    starting from 1 — a geometric ramp, so even when the input
+            //    *starts* in its hottest region (Zipf-head items first) the
+            //    cold estimate can only overshoot the quota by ~2×, at the
+            //    cost of ~log2(quota) tiny ramp-up waves.
+            let wave_len = if consumed == 0 {
+                1
+            } else {
+                let fanout = (last_wave.1 as f64 / last_wave.0 as f64).max(1.0);
+                (((quota as f64) / fanout).ceil() as usize).min(last_wave.0.saturating_mul(2))
+            }
+            .clamp(1, inputs.len() - consumed);
+            let wave = &inputs[consumed..consumed + wave_len];
+            let emitters = map_slice(wave, workers, partitions, mapper);
+            let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
+            peak_raw = peak_raw.max(wave_emitted);
+            emitted_total += wave_emitted;
+            consumed += wave_len;
+            last_wave = (wave_len, wave_emitted);
+            // Spill BEFORE the merge that would cross the threshold, so the
+            // grouped residency never exceeds it (as long as a single wave
+            // fits under the threshold — waves never split).
+            if spill_threshold > 0
+                && resident > 0
+                && resident + wave_emitted > spill_threshold as u64
+            {
+                let dir = spill_dir.get_or_insert_with(|| SpillDir::create(spill_base));
+                // Snapshot non-empty accumulators and assign their run
+                // paths now — path order is what the k-way merge replays,
+                // so it must be fixed on the coordinating thread.
+                let mut batch: SpillBatch<K, V> = Vec::new();
+                for (p, group) in groups.iter_mut().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let path = dir.run_path(p, runs[p].len());
+                    runs[p].push(path.clone());
+                    batch.push((std::mem::take(group), path));
+                }
+                let (tx, _) = writer.get_or_insert_with(|| {
+                    let (tx, rx) = std::sync::mpsc::sync_channel::<SpillBatch<K, V>>(0);
+                    let handle = scope.spawn(move || {
+                        let mut bytes = 0u64;
+                        while let Ok(batch) = rx.recv() {
+                            for (group, path) in batch {
+                                bytes += spill_one(group, &path, combiner);
+                            }
+                        }
+                        bytes
+                    });
+                    (tx, handle)
+                });
+                if tx.send(batch).is_err() {
+                    // The writer died mid-job (an I/O panic): join it so
+                    // the original panic propagates instead of a send
+                    // error.
+                    let (_, handle) = writer.take().expect("writer just inserted");
+                    match handle.join() {
+                        Err(panic) => std::panic::resume_unwind(panic),
+                        Ok(_) => unreachable!("writer exited while the sender was alive"),
+                    }
+                }
+                resident = 0;
+            }
+            let delta = merge_wave(emitters, &mut groups, workers, combiner);
+            resident = resident.saturating_add_signed(delta);
+            peak_grouped = peak_grouped.max(resident);
         }
-        .clamp(1, inputs.len() - consumed);
-        let wave = &inputs[consumed..consumed + wave_len];
-        let emitters = map_slice(wave, workers, partitions, mapper);
-        let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
-        peak_raw = peak_raw.max(wave_emitted);
-        emitted_total += wave_emitted;
-        consumed += wave_len;
-        last_wave = (wave_len, wave_emitted);
-        // Spill BEFORE the merge that would cross the threshold, so the
-        // grouped residency never exceeds it (as long as a single wave
-        // fits under the threshold — waves never split).
-        if spill_threshold > 0 && resident > 0 && resident + wave_emitted > spill_threshold as u64 {
-            let dir = spill_dir.get_or_insert_with(|| SpillDir::create(spill_base));
-            spilled_bytes += spill_partitions(&mut groups, &mut runs, dir, combiner);
-            resident = 0;
+        // Drain the writer before reading any run file back.
+        if let Some((tx, handle)) = writer.take() {
+            drop(tx);
+            match handle.join() {
+                Ok(bytes) => spilled_bytes += bytes,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
-        let delta = merge_wave(emitters, &mut groups, workers, combiner);
-        resident = resident.saturating_add_signed(delta);
-        peak_grouped = peak_grouped.max(resident);
-    }
+    });
 
     // A partition that ever spilled flushes its in-memory tail as one
     // final run (the latest input, so it merges last); partitions that
-    // never spilled reduce from memory.
+    // never spilled reduce from memory. The writer thread has already
+    // been joined, so these writes cannot race an in-flight batch.
     let partitions_out: Vec<Partition<K, V>> = groups
         .into_iter()
         .zip(runs)
@@ -660,8 +730,8 @@ where
             } else {
                 if !group.is_empty() {
                     let dir = spill_dir.as_ref().expect("runs exist without a spill dir");
-                    let (path, bytes) = spill_one(group, dir, p, run_files.len(), combiner);
-                    spilled_bytes += bytes;
+                    let path = dir.run_path(p, run_files.len());
+                    spilled_bytes += spill_one(group, &path, combiner);
                     run_files.push(path);
                 }
                 Partition::Spilled(run_files)
@@ -679,38 +749,11 @@ where
     }
 }
 
-/// Spill every non-empty partition accumulator to a sorted run file,
-/// leaving all accumulators empty. Returns the bytes written.
-fn spill_partitions<K, V>(
-    groups: &mut [Groups<K, V>],
-    runs: &mut [Vec<PathBuf>],
-    dir: &SpillDir,
-    combiner: Option<&dyn Combiner<V>>,
-) -> u64
-where
-    K: Hash + Eq + Ord + KvCodec,
-    V: KvCodec,
-{
-    let mut bytes = 0u64;
-    for (p, group) in groups.iter_mut().enumerate() {
-        if group.is_empty() {
-            continue;
-        }
-        let (path, run_bytes) = spill_one(std::mem::take(group), dir, p, runs[p].len(), combiner);
-        bytes += run_bytes;
-        runs[p].push(path);
-    }
-    bytes
-}
-
-/// Sort, (re-)combine and write one partition accumulator as a run file.
-fn spill_one<K, V>(
-    group: Groups<K, V>,
-    dir: &SpillDir,
-    partition: usize,
-    seq: usize,
-    combiner: Option<&dyn Combiner<V>>,
-) -> (PathBuf, u64)
+/// Sort, (re-)combine and write one partition accumulator as the run file
+/// at `path`. Runs on the spill-writer thread for mid-job spills and on
+/// the coordinating thread for the final tail flush. Returns the bytes
+/// written.
+fn spill_one<K, V>(group: Groups<K, V>, path: &Path, combiner: Option<&dyn Combiner<V>>) -> u64
 where
     K: Hash + Eq + Ord + KvCodec,
     V: KvCodec,
@@ -723,9 +766,7 @@ where
             c.combine(values);
         }
     }
-    let path = dir.run_path(partition, seq);
-    let bytes = write_run(&path, &sorted);
-    (path, bytes)
+    write_run(path, &sorted)
 }
 
 /// Drain one wave's emitter buffers into the per-partition group
@@ -1041,6 +1082,33 @@ mod tests {
         assert_eq!(baseline, out);
         assert!(stats.spilled_bytes > 0);
         assert!(stats.peak_grouped_records <= 2_048 + 1_024);
+    }
+
+    #[test]
+    fn async_spill_writer_keeps_stats_deterministic() {
+        // The spill-writer thread overlaps I/O with mapping; spill points,
+        // run contents and every JobStats counter must nevertheless be
+        // identical run-to-run (the determinism ledger says wave sizing —
+        // and therefore spilled_bytes and both peaks — depends only on
+        // the input and the config, never on thread interleaving).
+        let inputs: Vec<u64> = (0..30_000).collect();
+        let job = || {
+            map_reduce_with_stats(
+                &MrConfig::with_workers(4)
+                    .with_chunk_records(1_024)
+                    .with_spill_threshold(4_096),
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 257, x),
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+        };
+        let (out_a, stats_a) = job();
+        let (out_b, stats_b) = job();
+        assert_eq!(out_a, out_b);
+        assert!(stats_a.spilled_bytes > 0);
+        assert_eq!(stats_a.spilled_bytes, stats_b.spilled_bytes);
+        assert_eq!(stats_a.peak_grouped_records, stats_b.peak_grouped_records);
+        assert_eq!(stats_a.peak_resident_records, stats_b.peak_resident_records);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::extractor::{default_extractors, ExtractionOutcome, ExtractorSpec};
 use crate::freebase::build_gold;
 use crate::web::{ContentType, Web};
 use crate::world::World;
-use kf_types::{hash, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance};
+use kf_types::{hash, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance, Triple};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +110,85 @@ impl Corpus {
             .filter(|e| self.world.is_true(&e.triple))
             .count();
         correct as f64 / self.batch.len() as f64
+    }
+
+    /// The generator-truth outcome of each *unique* triple: the dominant
+    /// (most frequent) [`ExtractionOutcome`] over the triple's extraction
+    /// records, with frequency ties broken by severity (systematic >
+    /// generalized > linkage kinds > faithful). This is the join the error
+    /// taxonomy (`kf-diagnose`) scores its heuristic classifiers against:
+    /// a fused triple is *injected-systematic* when most of the records
+    /// that produced it came from a broken (pattern, item) cell.
+    pub fn dominant_outcomes(&self) -> kf_types::FxHashMap<Triple, ExtractionOutcome> {
+        // Tie-break priority per outcome slot: rarer, more structured
+        // error kinds win so a 50/50 split never degrades to Faithful.
+        fn priority(o: ExtractionOutcome) -> u8 {
+            match o {
+                ExtractionOutcome::SystematicError => 5,
+                ExtractionOutcome::Generalized => 4,
+                ExtractionOutcome::EntityLinkageError => 3,
+                ExtractionOutcome::PredicateLinkageError => 2,
+                ExtractionOutcome::TripleIdError => 1,
+                ExtractionOutcome::Faithful => 0,
+            }
+        }
+        let mut counts: kf_types::FxHashMap<Triple, [u32; 6]> = kf_types::FxHashMap::default();
+        for (e, &outcome) in self.batch.iter().zip(&self.outcomes) {
+            counts.entry(e.triple).or_default()[outcome.index()] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(triple, per_outcome)| {
+                let dominant = ExtractionOutcome::ALL
+                    .into_iter()
+                    .max_by_key(|&o| (per_outcome[o.index()], priority(o)))
+                    .expect("ALL is non-empty");
+                (triple, dominant)
+            })
+            .collect()
+    }
+
+    /// [`Corpus::dominant_outcomes`] mapped onto the Fig. 17 category
+    /// space — the ground-truth side of the heuristic-vs-injected
+    /// confusion matrix.
+    ///
+    /// One refinement over the raw per-record outcome: Fig. 17's
+    /// "systematic extraction error" is a *phenomenon* — "common
+    /// extraction errors by one or two extractors on **a lot of
+    /// Webpages**" — not a mechanism. A broken (pattern, item) cell whose
+    /// claim appears on a single page produces exactly one wrong record,
+    /// observationally identical to the one-off linkage / triple-id
+    /// corruption it is built from (the cell corruption reuses the same
+    /// three error kinds). Such single-page cases are therefore labelled
+    /// [`ErrorCategory::LinkageError`](kf_types::ErrorCategory); the
+    /// systematic category is reserved for triples whose wrong value was
+    /// actually replicated across ≥ 2 distinct pages.
+    pub fn taxonomy_truth(&self) -> kf_types::FxHashMap<Triple, kf_types::ErrorCategory> {
+        use kf_types::{ErrorCategory, PageId};
+        let dominant = self.dominant_outcomes();
+        // Only systematic-dominant triples need the page check, and only
+        // the ≥ 2 distinction matters — track (first page, saw another)
+        // for that subset instead of a page set per unique triple.
+        let mut spread: kf_types::FxHashMap<Triple, (PageId, bool)> =
+            kf_types::FxHashMap::default();
+        for e in self.batch.iter() {
+            if dominant.get(&e.triple) == Some(&ExtractionOutcome::SystematicError) {
+                let slot = spread.entry(e.triple).or_insert((e.provenance.page, false));
+                slot.1 |= slot.0 != e.provenance.page;
+            }
+        }
+        dominant
+            .into_iter()
+            .map(|(t, o)| {
+                let mut cat = o.taxonomy_category();
+                if cat == ErrorCategory::SystematicExtraction
+                    && !spread.get(&t).is_some_and(|&(_, multi)| multi)
+                {
+                    cat = ErrorCategory::LinkageError;
+                }
+                (t, cat)
+            })
+            .collect()
     }
 
     /// Overall extraction accuracy against the gold standard under LCWA
@@ -243,6 +322,73 @@ mod tests {
                 }
                 _ => {}
             }
+        }
+    }
+
+    #[test]
+    fn dominant_outcomes_cover_every_unique_triple() {
+        let c = Corpus::generate(&SynthConfig::tiny(), 9);
+        let dominant = c.dominant_outcomes();
+        assert_eq!(dominant.len(), c.batch.unique_triples());
+        // Every record's triple has a dominant outcome, and a triple seen
+        // only once inherits that record's outcome exactly.
+        let mut seen_once: kf_types::FxHashMap<_, Vec<ExtractionOutcome>> =
+            kf_types::FxHashMap::default();
+        for (e, &o) in c.batch.iter().zip(&c.outcomes) {
+            seen_once.entry(e.triple).or_default().push(o);
+        }
+        for (triple, outcomes) in &seen_once {
+            assert!(dominant.contains_key(triple));
+            if outcomes.len() == 1 {
+                assert_eq!(dominant[triple], outcomes[0]);
+            }
+        }
+        // The truth join maps onto the taxonomy categories, except that a
+        // dominant systematic outcome without the multi-page phenomenon
+        // degrades to the linkage category.
+        let truth = c.taxonomy_truth();
+        assert_eq!(truth.len(), dominant.len());
+        let mut pages: kf_types::FxHashMap<_, std::collections::HashSet<_>> =
+            kf_types::FxHashMap::default();
+        for e in c.batch.iter() {
+            pages.entry(e.triple).or_default().insert(e.provenance.page);
+        }
+        for (triple, o) in dominant {
+            let expected = match o.taxonomy_category() {
+                kf_types::ErrorCategory::SystematicExtraction if pages[&triple].len() < 2 => {
+                    kf_types::ErrorCategory::LinkageError
+                }
+                cat => cat,
+            };
+            assert_eq!(truth[&triple], expected);
+        }
+    }
+
+    #[test]
+    fn outcome_taxonomy_mapping_matches_fig17() {
+        use kf_types::ErrorCategory;
+        assert_eq!(
+            ExtractionOutcome::Faithful.taxonomy_category(),
+            ErrorCategory::LcwaArtifact
+        );
+        assert_eq!(
+            ExtractionOutcome::Generalized.taxonomy_category(),
+            ErrorCategory::WrongButGeneral
+        );
+        assert_eq!(
+            ExtractionOutcome::SystematicError.taxonomy_category(),
+            ErrorCategory::SystematicExtraction
+        );
+        for o in [
+            ExtractionOutcome::TripleIdError,
+            ExtractionOutcome::EntityLinkageError,
+            ExtractionOutcome::PredicateLinkageError,
+        ] {
+            assert_eq!(o.taxonomy_category(), ErrorCategory::LinkageError);
+        }
+        // Index/ALL are consistent.
+        for (i, o) in ExtractionOutcome::ALL.into_iter().enumerate() {
+            assert_eq!(o.index(), i);
         }
     }
 

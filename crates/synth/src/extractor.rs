@@ -154,6 +154,44 @@ pub enum ExtractionOutcome {
     Generalized,
 }
 
+impl ExtractionOutcome {
+    /// All outcomes, in a stable order (used by per-outcome counters).
+    pub const ALL: [ExtractionOutcome; 6] = [
+        ExtractionOutcome::Faithful,
+        ExtractionOutcome::TripleIdError,
+        ExtractionOutcome::EntityLinkageError,
+        ExtractionOutcome::PredicateLinkageError,
+        ExtractionOutcome::SystematicError,
+        ExtractionOutcome::Generalized,
+    ];
+
+    /// Dense index into [`ExtractionOutcome::ALL`].
+    pub fn index(self) -> usize {
+        ExtractionOutcome::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("outcome listed in ALL")
+    }
+
+    /// The Fig. 17 ground-truth category this generator outcome injects —
+    /// the join target for scoring the heuristic classifiers of
+    /// `kf-diagnose`. A *faithful* extraction that still ends up labelled
+    /// false is, by construction, a gold-list (LCWA) artifact or an
+    /// upstream source error — the paper folds both into the
+    /// "not-a-real-extraction-error" half of Fig. 17.
+    pub fn taxonomy_category(self) -> kf_types::ErrorCategory {
+        use kf_types::ErrorCategory;
+        match self {
+            ExtractionOutcome::Faithful => ErrorCategory::LcwaArtifact,
+            ExtractionOutcome::Generalized => ErrorCategory::WrongButGeneral,
+            ExtractionOutcome::SystematicError => ErrorCategory::SystematicExtraction,
+            ExtractionOutcome::TripleIdError
+            | ExtractionOutcome::EntityLinkageError
+            | ExtractionOutcome::PredicateLinkageError => ErrorCategory::LinkageError,
+        }
+    }
+}
+
 /// One simulated extraction produced by [`ExtractorSpec::extract`].
 #[derive(Debug, Clone, Copy)]
 pub struct SimulatedExtraction {

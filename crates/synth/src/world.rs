@@ -9,8 +9,8 @@
 
 use crate::config::WorldConfig;
 use kf_types::{
-    Catalog, DataItem, EntityId, FxHashMap, Numeric, PredicateId, PredicateInfo, Triple, TypeId,
-    Value, ValueHierarchy, ValueKind,
+    Catalog, DataItem, EntityId, FxHashMap, FxHashSet, Numeric, PredicateId, PredicateInfo, Triple,
+    TypeId, Value, ValueHierarchy, ValueKind,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -30,6 +30,10 @@ pub struct World {
     items: Vec<DataItem>,
     /// Child → parent edges of the value hierarchy.
     hierarchy: FxHashMap<Value, Value>,
+    /// Interior hierarchy nodes (values that are some value's parent) —
+    /// the ontology side of the error-taxonomy join: a reported interior
+    /// value is the signature of a wrong-but-general extraction.
+    hierarchy_interior: FxHashSet<Value>,
     /// Entity → confusable entity (same-name / similar-name pairs).
     confusables: FxHashMap<EntityId, EntityId>,
     /// Predicate → sibling predicate of the same type (author ↔ editor).
@@ -268,11 +272,14 @@ impl World {
             noise_values.push(Value::Num(Numeric::from_i64(100_000 + i)));
         }
 
+        let hierarchy_interior: FxHashSet<Value> = hierarchy.values().copied().collect();
+
         World {
             catalog,
             facts,
             items,
             hierarchy,
+            hierarchy_interior,
             confusables,
             siblings,
             hierarchy_entities,
@@ -362,6 +369,10 @@ impl ValueHierarchy for World {
     fn parent(&self, v: Value) -> Option<Value> {
         self.hierarchy.get(&v).copied()
     }
+
+    fn is_interior(&self, v: Value) -> bool {
+        self.hierarchy_interior.contains(&v)
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +442,25 @@ mod tests {
             .count();
         assert!(roots >= 1);
         assert!(leaves > roots);
+    }
+
+    #[test]
+    fn interior_nodes_are_exactly_the_parents() {
+        let w = world();
+        let mut interiors = 0;
+        for &e in w.hierarchy_entities() {
+            let v = Value::Entity(e);
+            // A node is interior iff it appears as some child's parent.
+            let is_parent_of_something = w
+                .hierarchy_entities()
+                .iter()
+                .any(|&c| w.parent(Value::Entity(c)) == Some(v));
+            assert_eq!(w.is_interior(v), is_parent_of_something);
+            interiors += w.is_interior(v) as usize;
+        }
+        assert!(interiors > 0, "no interior hierarchy nodes");
+        // Non-hierarchy values are never interior.
+        assert!(!w.is_interior(Value::Num(Numeric::from_i64(7))));
     }
 
     #[test]

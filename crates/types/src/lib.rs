@@ -26,6 +26,7 @@ pub mod intern;
 pub mod provenance;
 pub mod schema;
 pub mod stats;
+pub mod taxonomy;
 pub mod triple;
 pub mod value;
 
@@ -38,5 +39,9 @@ pub use intern::Interner;
 pub use provenance::{Granularity, Provenance, ProvenanceKey};
 pub use schema::{Catalog, EntityInfo, PredicateInfo, ValueKind};
 pub use stats::{human_count, SkewSummary};
+pub use taxonomy::{
+    BandBreakdown, CategoryAccuracy, CategoryCounts, ConfusionCell, ErrorCategory, GroupBreakdown,
+    Spread, TaxonomyReport,
+};
 pub use triple::{DataItem, Triple};
 pub use value::{NoHierarchy, Numeric, Value, ValueHierarchy};

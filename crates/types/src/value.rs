@@ -97,11 +97,22 @@ impl Value {
 ///
 /// Implemented by the synthetic world in `kf-synth`; consumed by the
 /// hierarchy-aware fusion extension in `kf-core` and by the error-analysis
-/// taxonomy in `kf-eval` (the "specific/general value" categories of
+/// taxonomy in `kf-diagnose` (the "specific/general value" categories of
 /// Fig. 17).
 pub trait ValueHierarchy {
     /// Immediate parent of `v` in the hierarchy, if any.
     fn parent(&self, v: Value) -> Option<Value>;
+
+    /// Whether `v` is an *interior* node of the hierarchy — a value that
+    /// is some other value's parent (a generalisation, like *USA* in the
+    /// location chain). Implementations that can enumerate the hierarchy
+    /// should override this; the default conservatively reports `false`.
+    /// Used by the error-taxonomy classifiers: a reported interior value
+    /// for a hierarchy-valued item is the signature of a
+    /// wrong-but-general extraction (Fig. 17).
+    fn is_interior(&self, _v: Value) -> bool {
+        false
+    }
 
     /// Whether `ancestor` lies on the parent chain of `descendant`
     /// (excluding equality).

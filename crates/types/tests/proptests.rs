@@ -160,4 +160,76 @@ proptest! {
             prop_assert_eq!(i.intern(s), *id);
         }
     }
+
+    /// A whole TaxonomyReport roundtrips through KvCodec exactly —
+    /// the first full-report type covered by the hand-rolled codec
+    /// (whole-output serialization), not just shuffle cells.
+    #[test]
+    fn taxonomy_report_roundtrips(
+        bands in prop::collection::vec(
+            ((0.0f64..1.0), 0u64..1_000, arb_counts()), 0..5),
+        groups in prop::collection::vec((0u32..100, "[A-Z]{2,6}", arb_counts()), 0..20),
+        confusion in prop::collection::vec((0usize..4, 0usize..4, 1u64..500), 0..16),
+        accs in prop::collection::vec((0usize..4, 0.0f64..1.0), 0..4),
+        attribution in (0u64..100, 0u64..100, any::<bool>()),
+    ) {
+        let bands: Vec<BandBreakdown> = bands
+            .into_iter()
+            .map(|(lo, n_true, counts)| BandBreakdown {
+                lo,
+                hi: lo + 0.1,
+                n_labelled: n_true + counts.total(),
+                n_true,
+                counts,
+            })
+            .collect();
+        let groups: Vec<GroupBreakdown> = groups
+            .into_iter()
+            .map(|(key, label, counts)| GroupBreakdown { key, label, counts })
+            .collect();
+        let report = TaxonomyReport {
+            n_false_positives: bands.iter().map(|b| b.counts.total()).sum(),
+            n_labelled: bands.iter().map(|b| b.n_labelled).sum(),
+            bands,
+            predicates: groups.clone(),
+            extractors: groups.clone(),
+            spread: groups,
+            confusion: confusion
+                .into_iter()
+                .map(|(h, i, count)| ConfusionCell {
+                    heuristic: ErrorCategory::from_index(h).unwrap(),
+                    injected: ErrorCategory::from_index(i).unwrap(),
+                    count,
+                })
+                .collect(),
+            mean_prov_accuracy: accs
+                .into_iter()
+                .map(|(c, a)| (ErrorCategory::from_index(c).unwrap(), a))
+                .collect(),
+            systematic_attribution: attribution.2.then_some(CategoryAccuracy {
+                correct: attribution.0.min(attribution.1),
+                total: attribution.1,
+            }),
+            generalized_attribution: None,
+        };
+
+        let mut buf = Vec::new();
+        report.encode(&mut buf);
+        let mut input = &buf[..];
+        prop_assert_eq!(TaxonomyReport::decode(&mut input).as_ref(), Some(&report));
+        prop_assert!(input.is_empty(), "decode left {} bytes", input.len());
+
+        // Every strict prefix of the encoding must be rejected, not
+        // misread — the truncation contract the spill reader relies on.
+        if !buf.is_empty() {
+            let cut = buf.len() / 2;
+            let mut truncated = &buf[..cut.min(buf.len() - 1)];
+            prop_assert_eq!(TaxonomyReport::decode(&mut truncated), None);
+        }
+    }
+}
+
+fn arb_counts() -> impl Strategy<Value = CategoryCounts> {
+    ((0u64..100), (0u64..100), (0u64..100), (0u64..100))
+        .prop_map(|(a, b, c, d)| CategoryCounts([a, b, c, d]))
 }

@@ -12,6 +12,7 @@
 //! | [`core`] | fusion methods VOTE / ACCU / POPACCU plus the §4.3 refinement stack (POPACCU+) |
 //! | [`synth`] | synthetic web-extraction corpus with the paper's statistical artifacts |
 //! | [`eval`] | calibration (WDEV/ECE), PR curves (AUC-PR, precision@k), ablation runner |
+//! | [`diagnose`] | Fig. 17 automated error taxonomy with per-extractor attribution |
 //!
 //! ## Quickstart
 //!
@@ -44,9 +45,11 @@
 //! ```
 //!
 //! Runnable walkthroughs live in `examples/`: `quickstart`,
-//! `calibration_study`, `custom_extractor`, `webscale_pipeline`.
+//! `calibration_study`, `custom_extractor`, `webscale_pipeline`,
+//! `error_taxonomy`.
 
 pub use kf_core as core;
+pub use kf_diagnose as diagnose;
 pub use kf_eval as eval;
 pub use kf_mapreduce as mapreduce;
 pub use kf_synth as synth;
@@ -54,7 +57,11 @@ pub use kf_types as types;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use kf_core::{Fuser, FusionConfig, FusionOutput, InitAccuracy, Method, ScoredTriple};
+    pub use kf_core::{
+        Fuser, FusionConfig, FusionOutput, InitAccuracy, Method, ProvenanceAttribution,
+        ScoredTriple,
+    };
+    pub use kf_diagnose::{DiagnoseConfig, Diagnoser, SupportIndex, SupportProfile};
     pub use kf_eval::{
         AblationRunner, Binning, CalibrationCurve, EvalReport, LabeledOutput, MethodEval, PrCurve,
         Preset,
@@ -62,7 +69,8 @@ pub mod prelude {
     pub use kf_mapreduce::MrConfig;
     pub use kf_synth::{Corpus, SynthConfig};
     pub use kf_types::{
-        DataItem, EntityId, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Granularity,
-        Label, PageId, PatternId, PredicateId, Provenance, SiteId, Triple, Value,
+        DataItem, EntityId, ErrorCategory, Extraction, ExtractionBatch, ExtractorId, GoldStandard,
+        Granularity, Label, PageId, PatternId, PredicateId, Provenance, SiteId, TaxonomyReport,
+        Triple, Value,
     };
 }
