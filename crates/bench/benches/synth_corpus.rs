@@ -1,8 +1,16 @@
-//! Corpus-generation throughput: the fixture cost every other bench and
-//! test pays before fusing anything.
+//! Corpus-generation throughput — the fixture cost every other bench and
+//! test pays before fusing anything — and checkpoint I/O: `corpus/save`
+//! and `corpus/load` timing rows, plus the load-vs-regenerate speedup
+//! assertion the checkpoint-and-fan-out pipeline depends on.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kf_synth::{Corpus, SynthConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kf-bench-synth-{}-{name}", std::process::id()))
+}
 
 fn generate(c: &mut Criterion) {
     for (name, cfg) in [
@@ -15,5 +23,70 @@ fn generate(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, generate);
+fn persist(c: &mut Criterion) {
+    for (name, cfg) in [
+        ("small", SynthConfig::small()),
+        ("paper", SynthConfig::paper()),
+    ] {
+        let corpus = Corpus::generate(&cfg, 42);
+        let path = tmp_path(&format!("bench-{name}.kfc"));
+        c.bench_function(&format!("corpus/save/{name}"), |b| {
+            b.iter(|| corpus.save(black_box(&path)).unwrap())
+        });
+        c.bench_function(&format!("corpus/load/{name}"), |b| {
+            b.iter(|| black_box(Corpus::load(black_box(&path)).unwrap()))
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The pipeline-shaping claim: loading the default (paper-scale) corpus
+/// checkpoint must beat regenerating it by at least 5× — otherwise
+/// snapshot-then-fan-out would not pay for itself and the CI corpus
+/// reuse would be pointless.
+///
+/// The 5× bound assumes ≥ 2 cores (the corpus decoder fans its segments
+/// out over threads; CI runners and dev machines are multicore). On a
+/// single-core host parallel decode cannot engage, so the gate degrades
+/// to the sequential decoder's 2.5× bound rather than flaking.
+fn load_beats_regeneration(_c: &mut Criterion) {
+    let cfg = SynthConfig::paper();
+    let mut generate_time = Duration::MAX;
+    let mut corpus = None;
+    for seed in [42, 42] {
+        let t0 = Instant::now();
+        corpus = Some(Corpus::generate(&cfg, seed));
+        generate_time = generate_time.min(t0.elapsed());
+    }
+    let corpus = corpus.expect("generated");
+
+    let path = tmp_path("speedup-paper.kfc");
+    corpus.save(&path).unwrap();
+    let mut load_time = Duration::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let loaded = Corpus::load(&path).unwrap();
+        load_time = load_time.min(t0.elapsed());
+        assert_eq!(loaded.batch.len(), corpus.batch.len());
+    }
+    std::fs::remove_file(&path).unwrap();
+
+    let multicore = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+    let required = if multicore { 5.0 } else { 2.5 };
+    let speedup = generate_time.as_secs_f64() / load_time.as_secs_f64();
+    println!(
+        "corpus/speedup/paper: generate {:.0} ms, load {:.0} ms => {speedup:.1}x \
+         (required {required:.1}x, {} decode)",
+        generate_time.as_secs_f64() * 1e3,
+        load_time.as_secs_f64() * 1e3,
+        if multicore { "parallel" } else { "sequential" },
+    );
+    assert!(
+        speedup >= required,
+        "loading the default corpus checkpoint must be at least {required}x faster \
+         than regenerating it (measured {speedup:.1}x)"
+    );
+}
+
+criterion_group!(benches, generate, persist, load_beats_regeneration);
 criterion_main!(benches);

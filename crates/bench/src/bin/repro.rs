@@ -1,17 +1,29 @@
-//! The reproduction harness: generate a synthetic corpus, fuse it under the
-//! paper's five named systems, evaluate calibration and PR quality against
-//! the LCWA gold standard, and write a diffable `report.json`.
+//! The reproduction harness: generate (or load) a synthetic corpus, fuse
+//! it under the paper's five named systems, evaluate calibration and PR
+//! quality against the LCWA gold standard, and write a diffable
+//! `report.json`.
 //!
 //! ```text
 //! cargo run --release --bin repro
 //! cargo run --release --bin repro -- --scale small --seed 7 --out small.json
+//!
+//! # Checkpoint once, fan out, merge (byte-identical to a single run):
+//! cargo run --release --bin repro -- --save-corpus corpus.kfc
+//! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 0/2 --out s0.bin
+//! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 1/2 --out s1.bin
+//! cargo run --release --bin repro -- --merge s0.bin s1.bin --out report.json
 //! ```
 
-use kf_bench::{generate_corpus, run_on_corpus, ParseError, ReproOptions};
+use kf_bench::{merge_shards, obtain_corpus, shard_presets, ParseError, ReproOptions};
 use std::time::Instant;
 
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
 fn main() {
-    let opts = match ReproOptions::parse(std::env::args().skip(1)) {
+    let mut opts = match ReproOptions::parse(std::env::args().skip(1)) {
         Ok(opts) => opts,
         // Asking for help is not an error; everything else is.
         Err(ParseError::Help) => {
@@ -24,13 +36,36 @@ fn main() {
         }
     };
 
+    // ---- Merge subflow: shard reports in, one report.json out ----------
+    if opts.merge {
+        let report = merge_shards(&opts.merge_inputs).unwrap_or_else(|e| fail(&e));
+        println!(
+            "merged {} shard report(s): {} methods on corpus[{} seed={}]",
+            opts.merge_inputs.len(),
+            report.methods.len(),
+            report.corpus.scale,
+            report.corpus.seed,
+        );
+        println!();
+        print!("{}", report.summary_table());
+        if let Some(path) = &opts.out {
+            match std::fs::write(path, report.to_json_string()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(e) => fail(&format!("failed to write {path}: {e}")),
+            }
+        }
+        return;
+    }
+
+    // ---- Corpus: load the checkpoint or generate ------------------------
     let start = Instant::now();
-    let corpus = generate_corpus(&opts).expect("scale validated by parse");
+    let (corpus, loaded) = obtain_corpus(&opts).unwrap_or_else(|e| fail(&e));
     println!(
-        "corpus[{} seed={}]: {} records, {} unique triples, {} items, \
+        "corpus[{} seed={}, {}]: {} records, {} unique triples, {} items, \
          {} gold items, lcwa accuracy {:.3} ({:.2}s)",
         opts.scale,
-        opts.seed,
+        corpus.seed,
+        if loaded { "loaded" } else { "generated" },
         corpus.batch.len(),
         corpus.batch.unique_triples(),
         corpus.batch.unique_data_items(),
@@ -39,17 +74,58 @@ fn main() {
         start.elapsed().as_secs_f64(),
     );
 
-    let report = run_on_corpus(&opts, &corpus);
+    // ---- Snapshot subflow: save the checkpoint and exit -----------------
+    if let Some(path) = &opts.save_corpus {
+        let start = Instant::now();
+        corpus
+            .save(path)
+            .unwrap_or_else(|e| fail(&format!("failed to save corpus {path:?}: {e}")));
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "saved corpus checkpoint {path} ({:.1} MiB, {:.2}s)",
+            bytes as f64 / (1024.0 * 1024.0),
+            start.elapsed().as_secs_f64(),
+        );
+        return;
+    }
+
+    // ---- Shard subflow: fuse this shard's presets, write binary report --
+    if let Some((index, of)) = opts.shard {
+        opts.presets = shard_presets(&opts.presets, index, of);
+        let names: Vec<&str> = opts.presets.iter().map(|p| p.name()).collect();
+        println!("shard {index}/{of}: presets [{}]", names.join(", "));
+        let report = kf_bench::run_on_corpus(&opts, &corpus);
+        // An explicit --out is honoured verbatim (and --no-out skips the
+        // write); only a defaulted path is replaced by the shard name.
+        let path = match (&opts.out, opts.out_explicit) {
+            (Some(path), true) => Some(path.clone()),
+            (None, true) => None,
+            _ => Some(format!("report-shard{index}of{of}.bin")),
+        };
+        match path {
+            Some(path) => {
+                report.save(&path).unwrap_or_else(|e| {
+                    fail(&format!("failed to write shard report {path:?}: {e}"))
+                });
+                println!(
+                    "wrote shard report {path} ({} methods)",
+                    report.methods.len()
+                );
+            }
+            None => println!("--no-out: shard report not written"),
+        }
+        return;
+    }
+
+    // ---- Single-process run ---------------------------------------------
+    let report = kf_bench::run_on_corpus(&opts, &corpus);
     println!();
     print!("{}", report.summary_table());
 
     if let Some(path) = &opts.out {
         match std::fs::write(path, report.to_json_string()) {
             Ok(()) => println!("\nwrote {path}"),
-            Err(e) => {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => fail(&format!("failed to write {path}: {e}")),
         }
     }
 }

@@ -46,8 +46,13 @@ pub struct ReproOptions {
     pub scale: String,
     /// Corpus generator seed.
     pub seed: u64,
-    /// Where to write the JSON report (`None` = don't write).
+    /// Where to write the JSON report (`None` = don't write). In `--shard`
+    /// mode this is the *binary* shard-report path instead.
     pub out: Option<String>,
+    /// Whether `out` was set explicitly (`--out` / `--no-out`) rather
+    /// than defaulted — shard mode substitutes its own default file name
+    /// only when it was not.
+    pub out_explicit: bool,
     /// Fusion worker threads (`None` = library default).
     pub workers: Option<usize>,
     /// Calibration bins per curve.
@@ -57,6 +62,22 @@ pub struct ReproOptions {
     /// Run the Fig. 17 error-taxonomy diagnosis per preset and embed the
     /// `taxonomy` section in the report (default: true).
     pub diagnose: bool,
+    /// Generate the corpus, save it as a checkpoint at this path, and
+    /// exit without fusing (the snapshot subflow).
+    pub save_corpus: Option<String>,
+    /// Load the corpus from this checkpoint instead of regenerating.
+    pub corpus: Option<String>,
+    /// Run only shard `i` of `n` (`--shard i/n`): the presets at indices
+    /// `j` with `j % n == i`, persisted as a binary shard report.
+    pub shard: Option<(usize, usize)>,
+    /// Merge mode: treat the positional arguments as binary shard-report
+    /// paths, reassemble the full report, and write it to `out` as JSON.
+    pub merge: bool,
+    /// Positional shard-report paths (merge mode only).
+    pub merge_inputs: Vec<String>,
+    /// Record `fuse_ms` as 0 so reports from different runs (single vs.
+    /// sharded) are byte-comparable.
+    pub deterministic: bool,
 }
 
 impl Default for ReproOptions {
@@ -65,10 +86,17 @@ impl Default for ReproOptions {
             scale: "paper".to_string(),
             seed: 42,
             out: Some("report.json".to_string()),
+            out_explicit: false,
             workers: None,
             bins: 10,
             presets: Preset::ALL.to_vec(),
             diagnose: true,
+            save_corpus: None,
+            corpus: None,
+            shard: None,
+            merge: false,
+            merge_inputs: Vec::new(),
+            deterministic: false,
         }
     }
 }
@@ -104,8 +132,14 @@ impl ReproOptions {
                     let v = value("--seed")?;
                     opts.seed = v.parse().map_err(|_| invalid(format!("bad seed {v:?}")))?;
                 }
-                "--out" => opts.out = Some(value("--out")?),
-                "--no-out" => opts.out = None,
+                "--out" => {
+                    opts.out = Some(value("--out")?);
+                    opts.out_explicit = true;
+                }
+                "--no-out" => {
+                    opts.out = None;
+                    opts.out_explicit = true;
+                }
                 "--workers" => {
                     let v = value("--workers")?;
                     opts.workers = Some(
@@ -134,9 +168,51 @@ impl ReproOptions {
                     opts.presets = presets;
                 }
                 "--no-diagnose" => opts.diagnose = false,
+                "--save-corpus" => opts.save_corpus = Some(value("--save-corpus")?),
+                "--corpus" => opts.corpus = Some(value("--corpus")?),
+                "--shard" => {
+                    let v = value("--shard")?;
+                    let parsed = v.split_once('/').and_then(|(i, n)| {
+                        let i: usize = i.parse().ok()?;
+                        let n: usize = n.parse().ok()?;
+                        (n >= 1 && i < n).then_some((i, n))
+                    });
+                    opts.shard = Some(parsed.ok_or_else(|| {
+                        invalid(format!("bad shard spec {v:?} (expected i/n with i < n)"))
+                    })?);
+                }
+                "--merge" => opts.merge = true,
+                "--deterministic" => opts.deterministic = true,
                 "--help" | "-h" => return Err(ParseError::Help),
+                other if !other.starts_with('-') => {
+                    opts.merge_inputs.push(other.to_string());
+                }
                 other => return Err(invalid(format!("unknown argument {other:?}\n{USAGE}"))),
             }
+        }
+        if opts.merge {
+            if opts.merge_inputs.is_empty() {
+                return Err(invalid(
+                    "--merge needs at least one shard-report path".to_string(),
+                ));
+            }
+            if opts.shard.is_some() || opts.save_corpus.is_some() || opts.corpus.is_some() {
+                return Err(invalid(
+                    "--merge cannot be combined with --shard/--save-corpus/--corpus".to_string(),
+                ));
+            }
+        } else if !opts.merge_inputs.is_empty() {
+            return Err(invalid(format!(
+                "positional argument {:?} only allowed with --merge\n{USAGE}",
+                opts.merge_inputs[0]
+            )));
+        }
+        if opts.save_corpus.is_some() && opts.shard.is_some() {
+            return Err(invalid(
+                "--save-corpus cannot be combined with --shard (the snapshot subflow \
+                 exits before fusing)"
+                    .to_string(),
+            ));
         }
         Ok(opts)
     }
@@ -150,7 +226,8 @@ evaluate calibration and PR quality, and write a diffable report.json.
 options:
   --scale tiny|small|paper|large   corpus size (default: paper)
   --seed N                         corpus seed (default: 42)
-  --out PATH                       report path (default: report.json)
+  --out PATH                       report path (default: report.json;
+                                   binary shard report in --shard mode)
   --no-out                         skip writing the report file
   --workers N                      fusion worker threads
   --bins N                         calibration bins (default: 10)
@@ -158,6 +235,22 @@ options:
                                    popaccu_plus_unsup,popaccu_plus
   --no-diagnose                    skip the Fig. 17 error-taxonomy pass
                                    (per-preset \"taxonomy\" report section)
+
+checkpointing & sharding:
+  --save-corpus PATH               generate the corpus, save it as a
+                                   checkpoint, and exit without fusing
+  --corpus PATH                    load the corpus from a checkpoint
+                                   instead of regenerating
+  --shard I/N                      fuse only shard I of N (presets at
+                                   indices j with j % N == I); writes a
+                                   binary shard report to --out (default:
+                                   report-shardIofN.bin)
+  --merge SHARD.bin ...            merge binary shard reports back into
+                                   one report.json (positional paths);
+                                   methods reassemble in ablation order
+  --deterministic                  record fuse_ms as 0 so single-process
+                                   and merged sharded reports are
+                                   byte-identical
 ";
 
 /// The corpus configuration for a scale name.
@@ -181,6 +274,50 @@ pub fn generate_corpus(opts: &ReproOptions) -> Result<Corpus, String> {
         )
     })?;
     Ok(Corpus::generate(&config, opts.seed))
+}
+
+/// Obtain the corpus for a run: load the checkpoint named by `--corpus`,
+/// or generate from `--scale`/`--seed`. Returns the corpus and whether it
+/// was loaded (for log lines).
+///
+/// A loaded corpus carries its own seed; the report's `corpus.seed` comes
+/// from the corpus itself, so `--seed` is ignored in that case. The
+/// `--scale` label is still recorded in the report header — pass the same
+/// `--scale` the checkpoint was generated with to keep reports diffable.
+pub fn obtain_corpus(opts: &ReproOptions) -> Result<(Corpus, bool), String> {
+    match &opts.corpus {
+        Some(path) => {
+            let corpus =
+                Corpus::load(path).map_err(|e| format!("cannot load corpus {path:?}: {e}"))?;
+            Ok((corpus, true))
+        }
+        None => Ok((generate_corpus(opts)?, false)),
+    }
+}
+
+/// The presets shard `index` of `of` is responsible for: round-robin over
+/// `presets` (index `j` goes to shard `j % of`), so every shard gets a
+/// near-equal mix of cheap and expensive presets and the union over all
+/// shards is exactly `presets`, each exactly once.
+pub fn shard_presets(presets: &[Preset], index: usize, of: usize) -> Vec<Preset> {
+    assert!(of >= 1 && index < of, "shard {index}/{of} out of range");
+    presets
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| j % of == index)
+        .map(|(_, &p)| p)
+        .collect()
+}
+
+/// Load binary shard reports and merge them into the full report (the
+/// `--merge` subflow).
+pub fn merge_shards(paths: &[String]) -> Result<EvalReport, String> {
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in paths {
+        shards
+            .push(EvalReport::load(path).map_err(|e| format!("cannot load shard {path:?}: {e}"))?);
+    }
+    kf_eval::merge_reports(shards).map_err(|e| e.to_string())
 }
 
 /// End-to-end: generate, fuse each preset, evaluate, assemble the report.
@@ -216,7 +353,7 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
         (support, truth, labels)
     });
 
-    let methods = opts
+    let mut methods: Vec<MethodEval> = opts
         .presets
         .iter()
         .map(|&preset| {
@@ -248,6 +385,13 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
             method
         })
         .collect();
+    if opts.deterministic {
+        // Wall-clock is the report's only nondeterministic field; zeroing
+        // it makes single-process and merged sharded runs byte-identical.
+        for m in &mut methods {
+            m.fuse_ms = 0.0;
+        }
+    }
     EvalReport {
         corpus: runner.corpus_summary(corpus),
         methods,
@@ -299,6 +443,79 @@ mod tests {
         assert!(ReproOptions::parse(["--presets", "nope"]).is_err());
         assert!(ReproOptions::parse(["--frobnicate"]).is_err());
         assert!(ReproOptions::parse(["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parse_checkpoint_and_shard_flags() {
+        let opts = ReproOptions::parse([
+            "--corpus",
+            "c.kfc",
+            "--shard",
+            "1/3",
+            "--deterministic",
+            "--out",
+            "s1.bin",
+        ])
+        .unwrap();
+        assert_eq!(opts.corpus.as_deref(), Some("c.kfc"));
+        assert_eq!(opts.shard, Some((1, 3)));
+        assert!(opts.deterministic);
+        assert_eq!(opts.out.as_deref(), Some("s1.bin"));
+
+        let opts = ReproOptions::parse(["--save-corpus", "snap.kfc", "--scale", "tiny"]).unwrap();
+        assert_eq!(opts.save_corpus.as_deref(), Some("snap.kfc"));
+
+        // Explicitness of --out / --no-out is tracked so shard mode can
+        // tell a defaulted report.json from a requested one.
+        assert!(
+            !ReproOptions::parse(Vec::<String>::new())
+                .unwrap()
+                .out_explicit
+        );
+        assert!(
+            ReproOptions::parse(["--out", "report.json"])
+                .unwrap()
+                .out_explicit
+        );
+        let no_out = ReproOptions::parse(["--no-out"]).unwrap();
+        assert!(no_out.out_explicit && no_out.out.is_none());
+
+        let opts = ReproOptions::parse(["--merge", "a.bin", "b.bin", "--out", "m.json"]).unwrap();
+        assert!(opts.merge);
+        assert_eq!(opts.merge_inputs, vec!["a.bin", "b.bin"]);
+    }
+
+    #[test]
+    fn parse_rejects_invalid_shard_and_merge_combos() {
+        // Malformed shard specs.
+        for bad in ["2/2", "3/2", "x/2", "1", "1/0", "/2", "1/"] {
+            assert!(ReproOptions::parse(["--shard", bad]).is_err(), "{bad}");
+        }
+        // Positionals without --merge.
+        assert!(ReproOptions::parse(["stray.bin"]).is_err());
+        // Merge without inputs, or combined with generation/shard flags.
+        assert!(ReproOptions::parse(["--merge"]).is_err());
+        assert!(ReproOptions::parse(["--merge", "a.bin", "--shard", "0/2"]).is_err());
+        assert!(ReproOptions::parse(["--merge", "a.bin", "--corpus", "c.kfc"]).is_err());
+        assert!(ReproOptions::parse(["--merge", "a.bin", "--save-corpus", "c.kfc"]).is_err());
+        // Snapshot mode exits before fusing, so a shard request with it
+        // is a contradiction, not a silent no-op.
+        assert!(ReproOptions::parse(["--save-corpus", "c.kfc", "--shard", "0/2"]).is_err());
+    }
+
+    #[test]
+    fn shard_presets_partition_round_robin() {
+        let all = Preset::ALL.to_vec();
+        let s0 = shard_presets(&all, 0, 2);
+        let s1 = shard_presets(&all, 1, 2);
+        assert_eq!(s0, vec![Preset::Vote, Preset::PopAccu, Preset::PopAccuPlus]);
+        assert_eq!(s1, vec![Preset::Accu, Preset::PopAccuPlusUnsup]);
+        // The union over shards is exactly the preset list, each once.
+        let mut union: Vec<Preset> = s0.into_iter().chain(s1).collect();
+        union.sort_by_key(|p| Preset::ALL.iter().position(|q| q == p).unwrap());
+        assert_eq!(union, all);
+        // One shard = the whole list.
+        assert_eq!(shard_presets(&all, 0, 1), all);
     }
 
     #[test]

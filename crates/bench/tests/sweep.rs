@@ -127,11 +127,16 @@ fn profile(name: &str, cfg: &SynthConfig, seed: u64) {
 #[test]
 #[ignore]
 fn fig9_ordering_on_default_corpus() {
+    // CI snapshots the default corpus once (`repro --save-corpus`) and
+    // points every gate at the checkpoint; without the env var the gate
+    // regenerates, so it still runs standalone.
     let opts = kf_bench::ReproOptions {
         out: None,
+        corpus: std::env::var("KF_CORPUS").ok(),
         ..Default::default()
     };
-    let report = kf_bench::run(&opts).expect("default options are valid");
+    let (corpus, _) = kf_bench::obtain_corpus(&opts).expect("default options are valid");
+    let report = kf_bench::run_on_corpus(&opts, &corpus);
     let vote = report.method("vote").expect("vote in report");
     let popaccu = report.method("popaccu").expect("popaccu in report");
     let plus = report

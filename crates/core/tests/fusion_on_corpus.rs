@@ -33,6 +33,35 @@ fn band_accuracy(corpus: &Corpus, out: &kf_core::FusionOutput, lo: f64, hi: f64)
 }
 
 #[test]
+fn fusing_a_loaded_checkpoint_equals_fusing_the_generated_corpus() {
+    // The checkpoint-and-fan-out pipeline rests on this: a corpus loaded
+    // from disk must drive fusion to *exactly* the probabilities the
+    // freshly generated corpus produces — no regeneration required.
+    let generated = Corpus::generate(&SynthConfig::tiny(), 42);
+    let path = std::env::temp_dir().join(format!(
+        "kf-core-fusion-checkpoint-{}.kfc",
+        std::process::id()
+    ));
+    generated.save(&path).unwrap();
+    let loaded = Corpus::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded, generated);
+
+    for cfg in [FusionConfig::popaccu(), FusionConfig::popaccu_plus()] {
+        let gold = matches!(cfg.init, kf_core::InitAccuracy::FromGold { .. });
+        let out_gen = Fuser::new(cfg).run(&generated.batch, gold.then_some(&generated.gold));
+        let out_load = Fuser::new(cfg).run(&loaded.batch, gold.then_some(&loaded.gold));
+        assert_eq!(out_gen.scored.len(), out_load.scored.len());
+        for (a, b) in out_gen.scored.iter().zip(&out_load.scored) {
+            assert_eq!(a.triple, b.triple);
+            assert_eq!(a.probability, b.probability, "triple {:?}", a.triple);
+        }
+        assert_eq!(out_gen.round_deltas, out_load.round_deltas);
+        assert_eq!(out_gen.n_provenances, out_load.n_provenances);
+    }
+}
+
+#[test]
 fn all_methods_score_every_unique_triple() {
     let c = corpus();
     for cfg in [

@@ -20,7 +20,12 @@ use kf_types::CategoryAccuracy;
 #[test]
 #[ignore]
 fn attribution_accuracy_on_default_corpus() {
-    let corpus = Corpus::generate(&SynthConfig::paper(), 42);
+    // CI snapshots the default corpus once and shares it across gates via
+    // KF_CORPUS; the gate regenerates when run standalone.
+    let corpus = match std::env::var("KF_CORPUS") {
+        Ok(path) => Corpus::load(&path).expect("KF_CORPUS names a readable corpus checkpoint"),
+        Err(_) => Corpus::generate(&SynthConfig::paper(), 42),
+    };
     let (support, _) = SupportIndex::build(&corpus.batch.records, &MrConfig::default());
     let truth = corpus.taxonomy_truth();
     let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();

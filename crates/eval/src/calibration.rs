@@ -23,7 +23,7 @@ pub enum Binning {
 }
 
 /// One calibration bin.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationBin {
     /// Inclusive lower edge.
     pub lo: f64,
@@ -38,7 +38,7 @@ pub struct CalibrationBin {
 }
 
 /// A binned calibration curve with its summary statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationCurve {
     /// The binning that produced the curve.
     pub binning: Binning,

@@ -38,6 +38,7 @@ pub mod ablation;
 pub mod calibration;
 pub mod json;
 pub mod labels;
+pub mod persist;
 pub mod pr;
 pub mod report;
 
@@ -45,5 +46,6 @@ pub use ablation::{AblationRunner, Preset};
 pub use calibration::{calibration_curve, Binning, CalibrationBin, CalibrationCurve};
 pub use json::Json;
 pub use labels::{LabeledOutput, LabeledTriple};
+pub use persist::{merge_reports, MergeError};
 pub use pr::{pr_curve, precision_at_k, PrCurve, PrPoint};
 pub use report::{evaluate_labeled, CorpusSummary, EvalReport, MethodEval};

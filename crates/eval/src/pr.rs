@@ -7,7 +7,7 @@
 //! precision@k for operational cut-offs.
 
 /// One point of a PR curve.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrPoint {
     /// The probability threshold this point corresponds to.
     pub threshold: f64,
@@ -22,7 +22,7 @@ pub struct PrPoint {
 }
 
 /// A full precision–recall curve.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PrCurve {
     /// Points in decreasing-threshold order (one per distinct probability).
     pub points: Vec<PrPoint>,

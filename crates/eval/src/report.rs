@@ -100,7 +100,7 @@ use kf_types::{ErrorCategory, TaxonomyReport};
 const MAX_PR_POINTS_IN_REPORT: usize = 200;
 
 /// The evaluation of one fusion method over one corpus.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodEval {
     /// Preset name (`vote`, `accu`, …).
     pub name: String,
@@ -304,7 +304,7 @@ fn pr_to_json(pr: &PrCurve) -> Json {
 }
 
 /// Corpus-level context recorded alongside the per-method results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CorpusSummary {
     /// Scale preset name (`tiny`/`small`/`paper`/`large`).
     pub scale: String,
@@ -337,7 +337,7 @@ impl CorpusSummary {
 }
 
 /// A full ablation report: one corpus, several methods.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalReport {
     /// Corpus context.
     pub corpus: CorpusSummary,

@@ -98,20 +98,20 @@ fn write_group<K: KvCodec, V: KvCodec>(
 /// Write one partition's accumulated groups to a sorted run file.
 ///
 /// `groups` must already be sorted by key. Returns the number of bytes
-/// written (frames plus their length prefixes).
+/// written (frames plus their length prefixes). Goes through the shared
+/// [`kf_types::checkpoint::write_atomic`] helper (temp file + rename), so
+/// a process killed mid-spill never leaves a truncated run under the run
+/// path — the k-way merge either sees a complete run or no file at all.
 pub(crate) fn write_run<K: KvCodec, V: KvCodec>(path: &Path, groups: &[(K, Vec<V>)]) -> u64 {
-    let file = File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create spill run {}: {e}", path.display()));
-    let mut writer = BufWriter::new(file);
-    let mut frame = Vec::new();
-    let mut bytes = 0u64;
-    for (key, values) in groups {
-        bytes += write_group(&mut writer, &mut frame, path, key, values);
-    }
-    writer
-        .flush()
-        .unwrap_or_else(|e| panic!("cannot flush spill run {}: {e}", path.display()));
-    bytes
+    kf_types::checkpoint::write_atomic(path, |writer| {
+        let mut frame = Vec::new();
+        let mut bytes = 0u64;
+        for (key, values) in groups {
+            bytes += write_group(writer, &mut frame, path, key, values);
+        }
+        Ok(bytes)
+    })
+    .unwrap_or_else(|e| panic!("cannot write spill run {}: {e}", path.display()))
 }
 
 /// Streaming reader over one run file: yields `(key, values)` groups in
@@ -219,17 +219,14 @@ where
             let mut name = batch[0].file_name().expect("run has a name").to_os_string();
             name.push(format!(".m{level}-{i}"));
             let out_path = batch[0].with_file_name(name);
-            let file = File::create(&out_path).unwrap_or_else(|e| {
-                panic!("cannot create compacted run {}: {e}", out_path.display())
-            });
-            let mut writer = BufWriter::new(file);
-            let mut frame = Vec::new();
-            merge_runs_each::<K, V, _>(batch, |key, values| {
-                write_group(&mut writer, &mut frame, &out_path, &key, &values);
-            });
-            writer.flush().unwrap_or_else(|e| {
-                panic!("cannot flush compacted run {}: {e}", out_path.display())
-            });
+            kf_types::checkpoint::write_atomic(&out_path, |writer| {
+                let mut frame = Vec::new();
+                merge_runs_each::<K, V, _>(batch, |key, values| {
+                    write_group(writer, &mut frame, &out_path, &key, &values);
+                });
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("cannot write compacted run {}: {e}", out_path.display()));
             for consumed in batch {
                 let _ = std::fs::remove_file(consumed);
             }
@@ -328,6 +325,26 @@ mod tests {
             back.push(g);
         }
         assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn run_writes_are_atomic_and_leave_no_temp_litter() {
+        let dir = SpillDir::create(None);
+        let path = dir.run_path(0, 0);
+        write_run(&path, &[(1u32, vec![1u64]), (2, vec![2])]);
+        // Overwrite with different content: the rename must fully replace.
+        let bytes = write_run(&path, &[(9u32, vec![9u64])]);
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let mut reader: RunReader<u32, u64> = RunReader::open(&path);
+        assert_eq!(reader.next_group(), Some((9, vec![9])));
+        assert_eq!(reader.next_group(), None);
+        // Only the run file itself lives in the spill dir — no `.tmp-`
+        // staging files survive the rename.
+        let names: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["p0-run0.bin".to_string()], "{names:?}");
     }
 
     #[test]

@@ -11,7 +11,11 @@ use rand::{Rng, SeedableRng};
 
 /// A fully generated synthetic corpus: the stand-in for the paper's 1.6B
 /// unique triples extracted by 12 extractors from 1B+ pages.
-#[derive(Debug, Clone)]
+///
+/// A corpus can be checkpointed to disk and reloaded without
+/// regeneration — see [`Corpus::save`] / [`Corpus::load`] in
+/// [`crate::persist`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Corpus {
     /// Ground-truth world (full truth; *not* visible to fusion).
     pub world: World,

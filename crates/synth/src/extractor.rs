@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 
 /// Relative mix of the three extraction error kinds (need not sum to 1;
 /// normalised at use).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ErrorProfile {
     /// Triple-identification errors: junk object values.
     pub triple_id: f64,
@@ -100,7 +100,7 @@ impl SiteFilter {
 }
 
 /// Full specification of one simulated extractor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExtractorSpec {
     /// Display name (TXT1 … ANO).
     pub name: String,
@@ -429,6 +429,114 @@ impl ExtractorSpec {
                 Some(clamp(mu + rng.gen_range(-0.12..0.12)))
             }
         }
+    }
+}
+
+// ---- KvCodec impls (corpus checkpointing; see `crate::persist`) ----------
+
+use kf_types::KvCodec;
+
+impl KvCodec for ErrorProfile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.triple_id.encode(out);
+        self.entity_linkage.encode(out);
+        self.predicate_linkage.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ErrorProfile {
+            triple_id: f64::decode(input)?,
+            entity_linkage: f64::decode(input)?,
+            predicate_linkage: f64::decode(input)?,
+        })
+    }
+}
+
+impl KvCodec for ConfidenceModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ConfidenceModel::Central => 0,
+            ConfidenceModel::BimodalCalibrated => 1,
+            ConfidenceModel::BimodalUninformative => 2,
+            ConfidenceModel::PeakAtMiddle => 3,
+            ConfidenceModel::None => 4,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(ConfidenceModel::Central),
+            1 => Some(ConfidenceModel::BimodalCalibrated),
+            2 => Some(ConfidenceModel::BimodalUninformative),
+            3 => Some(ConfidenceModel::PeakAtMiddle),
+            4 => Some(ConfidenceModel::None),
+            _ => None,
+        }
+    }
+}
+
+impl KvCodec for SiteFilter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SiteFilter::All => 0,
+            SiteFilter::WikipediaOnly => 1,
+            SiteFilter::NewswireOnly => 2,
+            SiteFilter::GeneralOnly => 3,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(SiteFilter::All),
+            1 => Some(SiteFilter::WikipediaOnly),
+            2 => Some(SiteFilter::NewswireOnly),
+            3 => Some(SiteFilter::GeneralOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Travels as the dense index into [`ExtractionOutcome::ALL`].
+impl KvCodec for ExtractionOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        ExtractionOutcome::ALL
+            .get(u8::decode(input)? as usize)
+            .copied()
+    }
+}
+
+impl KvCodec for ExtractorSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.sections.encode(out);
+        self.site_filter.encode(out);
+        self.page_coverage.encode(out);
+        self.recall.encode(out);
+        self.n_patterns.encode(out);
+        self.base_error.encode(out);
+        self.pattern_spread.encode(out);
+        self.profile.encode(out);
+        self.systematic_rate.encode(out);
+        self.generalize_rate.encode(out);
+        self.confidence.encode(out);
+        self.linkage_group.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ExtractorSpec {
+            name: String::decode(input)?,
+            sections: Vec::decode(input)?,
+            site_filter: SiteFilter::decode(input)?,
+            page_coverage: f64::decode(input)?,
+            recall: f64::decode(input)?,
+            n_patterns: u32::decode(input)?,
+            base_error: f64::decode(input)?,
+            pattern_spread: f64::decode(input)?,
+            profile: ErrorProfile::decode(input)?,
+            systematic_rate: f64::decode(input)?,
+            generalize_rate: f64::decode(input)?,
+            confidence: ConfidenceModel::decode(input)?,
+            linkage_group: u8::decode(input)?,
+        })
     }
 }
 

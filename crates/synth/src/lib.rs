@@ -20,12 +20,16 @@
 //!   components, hierarchy generalisation, and four confidence-score
 //!   shapes;
 //! * [`Corpus::generate`] tying it together deterministically from a seed,
-//!   and [`stats`] computing the Tables 1–3 / Fig. 3 summaries.
+//!   and [`stats`] computing the Tables 1–3 / Fig. 3 summaries;
+//! * [`Corpus::save`] / [`Corpus::load`] ([`persist`]) checkpointing the
+//!   whole corpus to a canonical, versioned binary file so sharded
+//!   processes fan out from one snapshot instead of regenerating.
 
 pub mod config;
 pub mod corpus;
 pub mod extractor;
 pub mod freebase;
+pub mod persist;
 pub mod stats;
 pub mod web;
 pub mod world;

@@ -1,0 +1,271 @@
+//! Corpus checkpointing: save a generated corpus once, fan out many
+//! processes that load it.
+//!
+//! Every experiment in this workspace starts from a [`Corpus`]. Before
+//! this module existed each process regenerated it from scratch, so
+//! nothing could be sharded across processes and every CI gate paid the
+//! full generation cost. [`Corpus::save`] writes the *entire* corpus —
+//! world (with ontology), web, gold standard, extraction batch, section
+//! and injected-outcome truth vectors, extractor specs and seed — as one
+//! [`kf_types::checkpoint`] file (magic + format version +
+//! [`ArtifactKind::Corpus`]), and [`Corpus::load`] restores it exactly:
+//! `load(save(c)) == c`, including the derived joins the error taxonomy
+//! scores against ([`Corpus::taxonomy_truth`],
+//! [`Corpus::dominant_outcomes`]) — pinned by the proptests in
+//! `tests/persist_proptests.rs`.
+//!
+//! The encoding is **canonical**: saving the same logical corpus from two
+//! different processes yields byte-identical files (hash maps encode in
+//! sorted key order). CI's determinism gate byte-diffs two same-seed
+//! snapshots to keep it that way. Writes are atomic (temp file + rename),
+//! so a killed process never leaves a truncated checkpoint that parses.
+
+use crate::corpus::Corpus;
+use crate::extractor::{ExtractionOutcome, ExtractorSpec};
+use crate::web::{ContentType, Web};
+use crate::world::World;
+use kf_types::checkpoint::{self, ArtifactKind, CheckpointError};
+use kf_types::{codec, ExtractionBatch, GoldStandard, KvCodec};
+use std::path::Path;
+
+/// The corpus encodes as six length-prefixed segments (world, web, gold,
+/// batch, sections, outcomes) followed by the small extractor list and
+/// the seed. Segments let [`Corpus::decode`] rebuild the expensive parts
+/// on parallel threads — the reason checkpoint loads beat regeneration by
+/// the ≥ 5× the `corpus/load` bench asserts — without changing the bytes:
+/// encoding stays sequential, deterministic and canonical.
+impl KvCodec for Corpus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::encode_segment(&self.world, out);
+        codec::encode_segment(&self.web, out);
+        codec::encode_segment(&self.gold, out);
+        codec::encode_segment(&self.batch, out);
+        // The parallel per-record vectors travel as one-byte index
+        // columns, not element-wise enums.
+        let sections: Vec<u8> = self.sections.iter().map(|s| s.index() as u8).collect();
+        let outcomes: Vec<u8> = self.outcomes.iter().map(|o| o.index() as u8).collect();
+        codec::encode_segment(&sections, out);
+        codec::encode_segment(&outcomes, out);
+        self.extractors.encode(out);
+        self.seed.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let world_seg = codec::take_segment(input)?;
+        let web_seg = codec::take_segment(input)?;
+        let gold_seg = codec::take_segment(input)?;
+        let batch_seg = codec::take_segment(input)?;
+        let sections_seg = codec::take_segment(input)?;
+        let outcomes_seg = codec::take_segment(input)?;
+        let extractors = Vec::<ExtractorSpec>::decode(input)?;
+        let seed = u64::decode(input)?;
+
+        // A `Vec<u8>` encodes to the same bytes as a `u8` column, so the
+        // tag vectors decode as one contiguous block each.
+        let decode_sections = || -> Option<Vec<ContentType>> {
+            let mut seg = sections_seg;
+            let tags = codec::decode_column::<u8>(&mut seg)?;
+            if !seg.is_empty() {
+                return None;
+            }
+            tags.into_iter()
+                .map(|tag| ContentType::ALL.get(tag as usize).copied())
+                .collect()
+        };
+        let decode_outcomes = || -> Option<Vec<ExtractionOutcome>> {
+            let mut seg = outcomes_seg;
+            let tags = codec::decode_column::<u8>(&mut seg)?;
+            if !seg.is_empty() {
+                return None;
+            }
+            tags.into_iter()
+                .map(|tag| ExtractionOutcome::ALL.get(tag as usize).copied())
+                .collect()
+        };
+        // Fan the segment decodes out over threads when the host has the
+        // cores for it; single-core hosts decode inline (the thread
+        // round-trips would only add overhead). Output is identical.
+        let parallel = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let (world, web, gold, batch, sections, outcomes) = if parallel {
+            std::thread::scope(|s| {
+                let world = s.spawn(|| codec::decode_segment_all::<World>(world_seg));
+                let web = s.spawn(|| codec::decode_segment_all::<Web>(web_seg));
+                let gold = s.spawn(|| codec::decode_segment_all::<GoldStandard>(gold_seg));
+                let batch = s.spawn(|| codec::decode_segment_all::<ExtractionBatch>(batch_seg));
+                let sections = s.spawn(decode_sections);
+                // The current thread takes a share too.
+                let outcomes = decode_outcomes();
+                fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+                    h.join().expect("segment decode does not panic")
+                }
+                (
+                    join(world),
+                    join(web),
+                    join(gold),
+                    join(batch),
+                    join(sections),
+                    outcomes,
+                )
+            })
+        } else {
+            (
+                codec::decode_segment_all::<World>(world_seg),
+                codec::decode_segment_all::<Web>(web_seg),
+                codec::decode_segment_all::<GoldStandard>(gold_seg),
+                codec::decode_segment_all::<ExtractionBatch>(batch_seg),
+                decode_sections(),
+                decode_outcomes(),
+            )
+        };
+        let corpus = Corpus {
+            world: world?,
+            web: web?,
+            gold: gold?,
+            batch: batch?,
+            sections: sections?,
+            outcomes: outcomes?,
+            extractors,
+            seed,
+        };
+        // The section/outcome vectors are parallel to the batch; a
+        // checkpoint violating that would poison every consumer.
+        if corpus.sections.len() != corpus.batch.len()
+            || corpus.outcomes.len() != corpus.batch.len()
+        {
+            return None;
+        }
+        Some(corpus)
+    }
+}
+
+impl Corpus {
+    /// Atomically write this corpus as a headered checkpoint file.
+    ///
+    /// ```no_run
+    /// use kf_synth::{Corpus, SynthConfig};
+    ///
+    /// let corpus = Corpus::generate(&SynthConfig::tiny(), 42);
+    /// corpus.save("corpus.kfc")?;
+    /// let again = Corpus::load("corpus.kfc")?;
+    /// assert_eq!(again, corpus);
+    /// # Ok::<(), kf_types::CheckpointError>(())
+    /// ```
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        checkpoint::save(path.as_ref(), ArtifactKind::Corpus, self)
+    }
+
+    /// Load a corpus checkpoint written by [`Corpus::save`].
+    ///
+    /// Fails with a typed [`CheckpointError`] on anything that is not a
+    /// complete, current-version corpus checkpoint: wrong magic, format
+    /// version skew, a different artifact kind, truncation, or trailing
+    /// bytes.
+    pub fn load(path: impl AsRef<Path>) -> Result<Corpus, CheckpointError> {
+        checkpoint::load(path.as_ref(), ArtifactKind::Corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use kf_types::checkpoint::FORMAT_VERSION;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("kf-synth-persist-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrips_the_whole_corpus() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 17);
+        let path = tmp_path("roundtrip.kfc");
+        corpus.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        assert_eq!(back, corpus);
+        // The derived truth joins survive the roundtrip exactly.
+        assert_eq!(back.dominant_outcomes(), corpus.dominant_outcomes());
+        assert_eq!(back.taxonomy_truth(), corpus.taxonomy_truth());
+        assert_eq!(back.lcwa_accuracy(), corpus.lcwa_accuracy());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn two_processes_worth_of_saves_are_byte_identical() {
+        // Simulates the CI determinism gate in-process: two independent
+        // generations from the same seed must encode identically.
+        let a = Corpus::generate(&SynthConfig::tiny(), 5);
+        let b = Corpus::generate(&SynthConfig::tiny(), 5);
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        assert_eq!(ea, eb, "same-seed corpus encodings must be identical");
+    }
+
+    #[test]
+    fn truncated_checkpoints_never_parse() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 3);
+        let path = tmp_path("truncate.kfc");
+        corpus.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Sample truncation points across the file (every byte would be
+        // slow at corpus size); always include the header boundary region.
+        let cuts: Vec<usize> = (0..16)
+            .chain((16..bytes.len()).step_by(bytes.len() / 64 + 1))
+            .collect();
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(Corpus::load(&path).is_err(), "cut at {cut} parsed");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_magic_and_version_skew_are_typed_errors() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 3);
+        let path = tmp_path("magic.kfc");
+        corpus.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            Corpus::load(&path),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        let mut skewed = good.clone();
+        skewed[4..6].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+        std::fs::write(&path, &skewed).unwrap();
+        assert!(matches!(
+            Corpus::load(&path),
+            Err(CheckpointError::VersionSkew { found }) if found == FORMAT_VERSION + 7
+        ));
+
+        // A world checkpoint is not a corpus checkpoint.
+        let world_path = tmp_path("world.kfc");
+        corpus.world.save(&world_path).unwrap();
+        assert!(matches!(
+            Corpus::load(&world_path),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+        assert!(World::load(&world_path).is_ok());
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&world_path).unwrap();
+    }
+
+    #[test]
+    fn parallel_vector_length_mismatch_is_rejected() {
+        let mut corpus = Corpus::generate(&SynthConfig::tiny(), 3);
+        corpus.sections.pop();
+        let mut buf = Vec::new();
+        corpus.encode(&mut buf);
+        assert_eq!(
+            Corpus::decode(&mut &buf[..]),
+            None,
+            "desynced section vector must not decode"
+        );
+    }
+}

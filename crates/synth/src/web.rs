@@ -72,7 +72,7 @@ pub struct Claim {
 }
 
 /// One web page.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Page {
     /// Page id (== index into [`Web::pages`]).
     pub id: PageId,
@@ -95,7 +95,7 @@ pub enum SiteClass {
 }
 
 /// The simulated web corpus.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Web {
     /// All pages.
     pub pages: Vec<Page>,
@@ -274,6 +274,169 @@ impl Web {
             n_sites: cfg.n_sites,
             popular_false,
         }
+    }
+}
+
+// ---- KvCodec impls (corpus checkpointing; see `crate::persist`) ----------
+
+use kf_types::KvCodec;
+
+/// Travels as the dense index into [`ContentType::ALL`].
+impl KvCodec for ContentType {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        ContentType::ALL.get(u8::decode(input)? as usize).copied()
+    }
+}
+
+impl KvCodec for Claim {
+    fn encode(&self, out: &mut Vec<u8>) {
+        KvCodec::encode(&self.item, out);
+        KvCodec::encode(&self.value, out);
+        self.section.encode(out);
+        self.source_error.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Claim {
+            item: DataItem::decode(input)?,
+            value: Value::decode(input)?,
+            section: ContentType::decode(input)?,
+            source_error: bool::decode(input)?,
+        })
+    }
+}
+
+impl KvCodec for Page {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.site.encode(out);
+        self.claims.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Page {
+            id: PageId::decode(input)?,
+            site: SiteId::decode(input)?,
+            claims: Vec::decode(input)?,
+        })
+    }
+}
+
+/// Checkpoint encoding. Pages flatten into columns — page ids / sites /
+/// claim counts, then one column per claim field — so decode is a bulk
+/// scan instead of an element-wise walk over hundreds of thousands of
+/// claims. The popular-false map encodes in sorted key order so the
+/// bytes are canonical (see [`kf_types::codec::encode_map_sorted`]).
+impl KvCodec for Web {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kf_types::codec::{encode_column, encode_map_sorted, encode_value_columns};
+        let ids: Vec<u32> = self.pages.iter().map(|p| p.id.0).collect();
+        let sites: Vec<u32> = self.pages.iter().map(|p| p.site.0).collect();
+        let counts: Vec<u32> = self.pages.iter().map(|p| p.claims.len() as u32).collect();
+        encode_column(&ids, out);
+        encode_column(&sites, out);
+        encode_column(&counts, out);
+        let claims: Vec<&Claim> = self.pages.iter().flat_map(|p| &p.claims).collect();
+        encode_column(
+            &claims
+                .iter()
+                .map(|c| c.item.subject.0)
+                .collect::<Vec<u32>>(),
+            out,
+        );
+        encode_column(
+            &claims
+                .iter()
+                .map(|c| c.item.predicate.0)
+                .collect::<Vec<u32>>(),
+            out,
+        );
+        encode_value_columns(&claims.iter().map(|c| c.value).collect::<Vec<Value>>(), out);
+        encode_column(
+            &claims
+                .iter()
+                .map(|c| c.section.index() as u8)
+                .collect::<Vec<u8>>(),
+            out,
+        );
+        encode_column(
+            &claims
+                .iter()
+                .map(|c| c.source_error as u8)
+                .collect::<Vec<u8>>(),
+            out,
+        );
+        self.n_sites.encode(out);
+        encode_map_sorted(&self.popular_false, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        use kf_types::codec::{decode_column, decode_map, decode_value_columns};
+        let ids: Vec<u32> = decode_column(input)?;
+        let sites: Vec<u32> = decode_column(input)?;
+        let counts: Vec<u32> = decode_column(input)?;
+        let n_pages = ids.len();
+        if sites.len() != n_pages || counts.len() != n_pages {
+            return None;
+        }
+        let subjects: Vec<u32> = decode_column(input)?;
+        let predicates: Vec<u32> = decode_column(input)?;
+        let values = decode_value_columns(input)?;
+        let sections: Vec<u8> = decode_column(input)?;
+        let source_errors: Vec<u8> = decode_column(input)?;
+        let n_claims = subjects.len();
+        if [
+            predicates.len(),
+            values.len(),
+            sections.len(),
+            source_errors.len(),
+        ]
+        .iter()
+        .any(|&l| l != n_claims)
+        {
+            return None;
+        }
+
+        let mut pages = Vec::with_capacity(n_pages);
+        let mut at = 0usize;
+        for i in 0..n_pages {
+            let count = counts[i] as usize;
+            let end = at.checked_add(count)?;
+            if end > n_claims {
+                return None;
+            }
+            let mut claims = Vec::with_capacity(count);
+            for j in at..end {
+                claims.push(Claim {
+                    item: DataItem::new(
+                        kf_types::EntityId(subjects[j]),
+                        kf_types::PredicateId(predicates[j]),
+                    ),
+                    value: values[j],
+                    section: *ContentType::ALL.get(sections[j] as usize)?,
+                    source_error: match source_errors[j] {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    },
+                });
+            }
+            at = end;
+            pages.push(Page {
+                id: PageId(ids[i]),
+                site: SiteId(sites[i]),
+                claims,
+            });
+        }
+        if at != n_claims {
+            return None;
+        }
+        Some(Web {
+            pages,
+            n_sites: usize::decode(input)?,
+            popular_false: decode_map(input)?,
+        })
     }
 }
 

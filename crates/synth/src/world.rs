@@ -9,8 +9,8 @@
 
 use crate::config::WorldConfig;
 use kf_types::{
-    Catalog, DataItem, EntityId, FxHashMap, FxHashSet, Numeric, PredicateId, PredicateInfo, Triple,
-    TypeId, Value, ValueHierarchy, ValueKind,
+    Catalog, DataItem, EntityId, FxHashMap, FxHashSet, KvCodec, Numeric, PredicateId,
+    PredicateInfo, Triple, TypeId, Value, ValueHierarchy, ValueKind,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -20,7 +20,7 @@ use rand_distr::{Distribution, Poisson};
 /// The ground truth: entities, predicates, true facts, hierarchy,
 /// confusables. Everything downstream (web pages, extractors, gold KB,
 /// error analysis) derives from this.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct World {
     /// Schema catalog (types, predicates, entities, strings).
     pub catalog: Catalog,
@@ -365,6 +365,133 @@ impl World {
     }
 }
 
+/// Everything in a [`World`] except the catalog, as one decodable unit —
+/// the second of the two length-prefixed segments the world encodes as,
+/// so a decoder can rebuild the catalog (string-interner heavy) and the
+/// fact tables on separate threads.
+struct WorldBody {
+    facts: FxHashMap<DataItem, Vec<Value>>,
+    items: Vec<DataItem>,
+    hierarchy: FxHashMap<Value, Value>,
+    hierarchy_interior: FxHashSet<Value>,
+    confusables: FxHashMap<EntityId, EntityId>,
+    siblings: FxHashMap<PredicateId, PredicateId>,
+    hierarchy_entities: Vec<EntityId>,
+    entities_by_type: Vec<Vec<EntityId>>,
+    noise_values: Vec<Value>,
+}
+
+impl WorldBody {
+    /// Decode one body from a whole segment, requiring exact consumption.
+    fn decode_all(mut segment: &[u8]) -> Option<Self> {
+        let body = Self::decode(&mut segment)?;
+        segment.is_empty().then_some(body)
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let groups = kf_types::codec::decode_item_values_columns(input)?;
+        let mut items = Vec::with_capacity(groups.len());
+        let mut facts = FxHashMap::default();
+        facts.reserve(groups.len());
+        for (item, values) in groups {
+            if facts.insert(item, values).is_some() {
+                return None;
+            }
+            items.push(item);
+        }
+        let hierarchy: FxHashMap<Value, Value> = kf_types::codec::decode_map(input)?;
+        let hierarchy_interior: FxHashSet<Value> = hierarchy.values().copied().collect();
+        Some(WorldBody {
+            facts,
+            items,
+            hierarchy,
+            hierarchy_interior,
+            confusables: kf_types::codec::decode_map(input)?,
+            siblings: kf_types::codec::decode_map(input)?,
+            hierarchy_entities: Vec::decode(input)?,
+            entities_by_type: Vec::decode(input)?,
+            noise_values: Vec::decode(input)?,
+        })
+    }
+}
+
+/// Checkpoint encoding: two length-prefixed segments — the catalog, then
+/// everything else (`WorldBody`) — decoded on separate threads (corpus
+/// loads race corpus regeneration in CI; see `crate::persist`). Facts
+/// ride with [`World::items`] in insertion order (preserving
+/// deterministic iteration exactly); the hierarchy / confusable / sibling
+/// maps encode in sorted key order so the bytes are canonical; the
+/// interior-node set is derived state, recomputed from the decoded
+/// hierarchy rather than stored.
+impl kf_types::KvCodec for World {
+    fn encode(&self, out: &mut Vec<u8>) {
+        kf_types::codec::encode_segment(&self.catalog, out);
+        // Body segment, written in place (the body encoder reads `self`'s
+        // fields directly; `WorldBody` exists for the decode side).
+        let at = out.len();
+        out.extend_from_slice(&[0u8; 8]);
+        kf_types::codec::encode_item_values_columns(
+            self.items.len(),
+            self.items
+                .iter()
+                .map(|item| (*item, self.facts[item].as_slice())),
+            out,
+        );
+        kf_types::codec::encode_map_sorted(&self.hierarchy, out);
+        kf_types::codec::encode_map_sorted(&self.confusables, out);
+        kf_types::codec::encode_map_sorted(&self.siblings, out);
+        self.hierarchy_entities.encode(out);
+        self.entities_by_type.encode(out);
+        self.noise_values.encode(out);
+        let len = (out.len() - at - 8) as u64;
+        out[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let catalog_seg = kf_types::codec::take_segment(input)?;
+        let body_seg = kf_types::codec::take_segment(input)?;
+        let parallel = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let (catalog, body) = if parallel {
+            std::thread::scope(|s| {
+                let catalog =
+                    s.spawn(|| kf_types::codec::decode_segment_all::<Catalog>(catalog_seg));
+                let body = WorldBody::decode_all(body_seg);
+                (catalog.join().expect("catalog decode does not panic"), body)
+            })
+        } else {
+            (
+                kf_types::codec::decode_segment_all::<Catalog>(catalog_seg),
+                WorldBody::decode_all(body_seg),
+            )
+        };
+        let (catalog, body) = (catalog?, body?);
+        Some(World {
+            catalog,
+            facts: body.facts,
+            items: body.items,
+            hierarchy: body.hierarchy,
+            hierarchy_interior: body.hierarchy_interior,
+            confusables: body.confusables,
+            siblings: body.siblings,
+            hierarchy_entities: body.hierarchy_entities,
+            entities_by_type: body.entities_by_type,
+            noise_values: body.noise_values,
+        })
+    }
+}
+
+impl World {
+    /// Atomically write this world as a headered checkpoint file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), kf_types::CheckpointError> {
+        kf_types::checkpoint::save(path.as_ref(), kf_types::ArtifactKind::World, self)
+    }
+
+    /// Load a world checkpoint written by [`World::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<World, kf_types::CheckpointError> {
+        kf_types::checkpoint::load(path.as_ref(), kf_types::ArtifactKind::World)
+    }
+}
+
 impl ValueHierarchy for World {
     fn parent(&self, v: Value) -> Option<Value> {
         self.hierarchy.get(&v).copied()
@@ -516,6 +643,46 @@ mod tests {
             let exact = Triple::new(item.subject, item.predicate, leaf);
             assert!(w.is_true(&exact));
         }
+    }
+
+    #[test]
+    fn kvcodec_roundtrip_preserves_world_and_derived_state() {
+        use kf_types::KvCodec;
+        let w = World::generate(
+            &WorldConfig {
+                n_entities: 400,
+                ..WorldConfig::default()
+            },
+            11,
+        );
+        let mut buf = Vec::new();
+        w.encode(&mut buf);
+        let mut input = &buf[..];
+        let back = World::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back, w);
+        // Derived state (interior set, catalog index) works after decode.
+        let interior = w
+            .hierarchy_entities()
+            .iter()
+            .find(|&&e| w.is_interior(Value::Entity(e)))
+            .copied()
+            .expect("world has interior nodes");
+        assert!(back.is_interior(Value::Entity(interior)));
+        // Items iterate in the identical deterministic order.
+        assert_eq!(back.items(), w.items());
+        // Encoding twice from independently generated same-seed worlds is
+        // byte-identical (canonical encoding).
+        let w2 = World::generate(
+            &WorldConfig {
+                n_entities: 400,
+                ..WorldConfig::default()
+            },
+            11,
+        );
+        let mut buf2 = Vec::new();
+        w2.encode(&mut buf2);
+        assert_eq!(buf, buf2, "same-seed world encodings must be identical");
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl Extraction {
 ///
 /// Thin wrapper over `Vec<Extraction>` with corpus-level convenience
 /// accessors used by tests, examples and the statistics module.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExtractionBatch {
     /// The extraction records.
     pub records: Vec<Extraction>,

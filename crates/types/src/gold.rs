@@ -39,10 +39,41 @@ impl Label {
 
 /// A trusted partial KB (the paper uses Freebase) mapping known data items
 /// to their accepted object values.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GoldStandard {
     items: FxHashMap<DataItem, Vec<Value>>,
     n_triples: usize,
+}
+
+/// Checkpoint encoding: columnar `(item, accepted values)` groups in
+/// sorted key order, so the bytes are canonical (independent of hash-map
+/// history) and decode is a bulk column scan. `n_triples` is recomputed
+/// on decode rather than trusted from the file.
+impl crate::KvCodec for GoldStandard {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut entries: Vec<(&DataItem, &Vec<Value>)> = self.items.iter().collect();
+        entries.sort_by_key(|(item, _)| **item);
+        crate::codec::encode_item_values_columns(
+            entries.len(),
+            entries
+                .iter()
+                .map(|(item, values)| (**item, values.as_slice())),
+            out,
+        );
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let groups = crate::codec::decode_item_values_columns(input)?;
+        let mut n_triples = 0usize;
+        let mut items = FxHashMap::default();
+        items.reserve(groups.len());
+        for (item, values) in groups {
+            n_triples += values.len();
+            if items.insert(item, values).is_some() {
+                return None;
+            }
+        }
+        Some(GoldStandard { items, n_triples })
+    }
 }
 
 impl GoldStandard {
@@ -186,6 +217,28 @@ mod tests {
         assert_eq!(hist[1], 1); // item(2,1) has one truth
         assert_eq!(hist[5], 1); // item(1,1) capped from 7 to 5
         assert_eq!(hist.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn kvcodec_roundtrip_restores_labels_and_counts() {
+        use crate::KvCodec;
+        let mut gs = GoldStandard::new();
+        gs.insert(item(1, 1), Value::Entity(EntityId(10)));
+        gs.insert(item(1, 1), Value::Entity(EntityId(11)));
+        gs.insert(item(2, 3), Value::Entity(EntityId(9)));
+        let mut buf = Vec::new();
+        gs.encode(&mut buf);
+        let mut input = &buf[..];
+        let back = GoldStandard::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back, gs);
+        assert_eq!(back.n_triples(), 3);
+        assert_eq!(back.label(&triple(1, 1, 11)), Label::True);
+        assert_eq!(back.label(&triple(1, 1, 12)), Label::False);
+        // Truncations never parse.
+        for cut in 0..buf.len() {
+            assert_eq!(GoldStandard::decode(&mut &buf[..cut]), None);
+        }
     }
 
     #[test]

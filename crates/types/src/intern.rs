@@ -3,18 +3,53 @@
 //! Raw-string object values (80M of the paper's 102M unique objects) are
 //! interned once so the rest of the system moves `Copy` [`StrId`]s around.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxBuildHasher, FxHashMap};
 use crate::ids::StrId;
 use serde::{Deserialize, Serialize};
+use std::hash::BuildHasher;
 
 /// An append-only string interner. Not thread-safe by itself; corpus
 /// construction happens single-threaded (or behind a lock) while fusion, the
 /// hot phase, only reads.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// The reverse index maps a string's 64-bit Fx hash to the id carrying
+/// that hash; the rare hash collisions overflow into a side list scanned
+/// by string comparison. Keying by hash instead of by owned `String`
+/// keeps the index clone-free and allocation-free per entry, which makes
+/// [`Interner::rebuild_index`] — and therefore checkpoint loading —
+/// cheap.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Interner {
     strings: Vec<String>,
     #[serde(skip)]
-    index: FxHashMap<String, StrId>,
+    index: FxHashMap<u64, StrId>,
+    /// Ids displaced from `index` by a hash collision (kept tiny; scanned
+    /// linearly with full string comparison).
+    #[serde(skip)]
+    collisions: Vec<StrId>,
+}
+
+/// The index hash of a string.
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    FxBuildHasher::default().hash_one(s)
+}
+
+/// Checkpoint encoding: the dense string table only. The reverse index is
+/// derived state and is rebuilt on decode, mirroring the serde skip.
+impl crate::KvCodec for Interner {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.strings.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let mut interner = Interner {
+            strings: Vec::decode(input)?,
+            index: FxHashMap::default(),
+            collisions: Vec::new(),
+        };
+        interner.rebuild_index();
+        Some(interner)
+    }
 }
 
 impl Interner {
@@ -25,12 +60,19 @@ impl Interner {
 
     /// Intern `s`, returning its id (existing id when already interned).
     pub fn intern(&mut self, s: &str) -> StrId {
-        if let Some(&id) = self.index.get(s) {
+        if let Some(id) = self.lookup(s) {
             return id;
         }
         let id = StrId::from_index(self.strings.len());
         self.strings.push(s.to_owned());
-        self.index.insert(s.to_owned(), id);
+        match self.index.entry(hash_str(s)) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+            // A different string owns this hash slot; keep the new id
+            // reachable through the collision overflow list.
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push(id),
+        }
         id
     }
 
@@ -47,7 +89,15 @@ impl Interner {
 
     /// Look up an already-interned string without inserting.
     pub fn lookup(&self, s: &str) -> Option<StrId> {
-        self.index.get(s).copied()
+        if let Some(&id) = self.index.get(&hash_str(s)) {
+            if self.strings[id.index()] == s {
+                return Some(id);
+            }
+        }
+        self.collisions
+            .iter()
+            .copied()
+            .find(|&id| self.strings[id.index()] == s)
     }
 
     /// Number of distinct interned strings.
@@ -61,14 +111,23 @@ impl Interner {
     }
 
     /// Rebuild the reverse index (needed after deserialisation, since the
-    /// index is not serialised).
+    /// index is not serialised). Clone-free and allocation-free per
+    /// entry: the index holds hashes and ids, never the strings
+    /// themselves.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), StrId::from_index(i)))
-            .collect();
+        self.index.clear();
+        self.index.reserve(self.strings.len());
+        self.collisions.clear();
+        for (i, s) in self.strings.iter().enumerate() {
+            match self.index.entry(hash_str(s)) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(StrId::from_index(i));
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.collisions.push(StrId::from_index(i));
+                }
+            }
+        }
     }
 }
 
@@ -121,6 +180,23 @@ mod tests {
         j.rebuild_index();
         assert_eq!(j.lookup("a"), i.lookup("a"));
         assert_eq!(j.lookup("b"), i.lookup("b"));
+    }
+
+    #[test]
+    fn kvcodec_roundtrip_rebuilds_the_index() {
+        use crate::KvCodec;
+        let mut i = Interner::new();
+        let a = i.intern("Syracuse NY");
+        let b = i.intern("New York City");
+        let mut buf = Vec::new();
+        i.encode(&mut buf);
+        let mut input = &buf[..];
+        let back = Interner::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back, i);
+        assert_eq!(back.lookup("Syracuse NY"), Some(a));
+        assert_eq!(back.lookup("New York City"), Some(b));
+        assert_eq!(back.lookup("nope"), None);
     }
 
     #[test]

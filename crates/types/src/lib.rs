@@ -7,16 +7,20 @@
 //! rich provenance the paper relies on (extractor, URL, site, pattern,
 //! confidence); [`Granularity`]-parameterised provenance keys (§4.3.1 of the
 //! paper); the [`GoldStandard`] with its local closed-world assumption
-//! (LCWA) labelling (§3.2.1); and [`KvCodec`], the hand-rolled binary
+//! (LCWA) labelling (§3.2.1); [`KvCodec`], the hand-rolled binary
 //! codec the MapReduce engine's external shuffle uses to spill grouped
 //! partitions to sorted run files (the vendored serde shim is derive-only,
-//! so real serialization lives here).
+//! so real serialization lives here); and the [`checkpoint`] container —
+//! magic bytes + format version + artifact kind over `KvCodec` payloads —
+//! that corpus snapshots and shard reports persist through, including the
+//! atomic write-then-rename helper shared with the spill writer.
 //!
 //! Everything here is deliberately plain data: `Copy` ids, interned strings,
 //! and hash maps keyed by those ids using a fast multiplicative hasher
 //! ([`hash::FxHasher`]), because these types sit on the hot path of a fusion
 //! run over millions of extractions.
 
+pub mod checkpoint;
 pub mod codec;
 pub mod extraction;
 pub mod gold;
@@ -30,6 +34,7 @@ pub mod taxonomy;
 pub mod triple;
 pub mod value;
 
+pub use checkpoint::{ArtifactKind, CheckpointError, FORMAT_VERSION, MAGIC};
 pub use codec::KvCodec;
 pub use extraction::{Extraction, ExtractionBatch};
 pub use gold::{GoldStandard, Label};

@@ -7,6 +7,7 @@
 //! 72% of predicates (76% of data items) are non-functional, which drives
 //! one of the paper's main error modes.
 
+use crate::codec::KvCodec;
 use crate::ids::{EntityId, PredicateId, StrId, TypeId};
 use crate::intern::Interner;
 use serde::{Deserialize, Serialize};
@@ -23,7 +24,7 @@ pub enum ValueKind {
 }
 
 /// Schema information for one predicate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredicateInfo {
     /// Human-readable name, e.g. `people/person/birth_date`.
     pub name: String,
@@ -36,7 +37,7 @@ pub struct PredicateInfo {
 }
 
 /// Catalog entry for one entity.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EntityInfo {
     /// Interned canonical name.
     pub name: StrId,
@@ -47,7 +48,7 @@ pub struct EntityInfo {
 /// The schema catalog: types, predicates, entities and the shared string
 /// interner. Built once (by `kf-synth` or by a user loading real data),
 /// then read-only during fusion.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Catalog {
     types: Vec<String>,
     predicates: Vec<PredicateInfo>,
@@ -144,6 +145,75 @@ impl Catalog {
     }
 }
 
+// ---- KvCodec impls (checkpointing; see `crate::checkpoint`) --------------
+
+impl KvCodec for ValueKind {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ValueKind::Entity => 0,
+            ValueKind::Str => 1,
+            ValueKind::Num => 2,
+        });
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(ValueKind::Entity),
+            1 => Some(ValueKind::Str),
+            2 => Some(ValueKind::Num),
+            _ => None,
+        }
+    }
+}
+
+impl KvCodec for PredicateInfo {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.domain.encode(out);
+        self.functional.encode(out);
+        self.value_kind.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(PredicateInfo {
+            name: String::decode(input)?,
+            domain: TypeId::decode(input)?,
+            functional: bool::decode(input)?,
+            value_kind: ValueKind::decode(input)?,
+        })
+    }
+}
+
+impl KvCodec for EntityInfo {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.ty.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(EntityInfo {
+            name: StrId::decode(input)?,
+            ty: TypeId::decode(input)?,
+        })
+    }
+}
+
+impl KvCodec for Catalog {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.types.encode(out);
+        self.predicates.encode(out);
+        self.entities.encode(out);
+        self.strings.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Catalog {
+            types: Vec::decode(input)?,
+            predicates: Vec::decode(input)?,
+            entities: Vec::decode(input)?,
+            strings: Interner::decode(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +270,36 @@ mod tests {
         let b = c.add_entity("same-name", t);
         assert_ne!(a, b); // entities are distinct...
         assert_eq!(c.entity(a).name, c.entity(b).name); // ...names shared
+    }
+
+    #[test]
+    fn kvcodec_roundtrip_restores_lookups() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let mut input = &buf[..];
+        let back = Catalog::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back, c);
+        assert_eq!(back.type_name(TypeId(1)), "film/film");
+        assert_eq!(back.entity_name(EntityId(0)), "Tom Cruise");
+        assert!(back.is_functional(PredicateId(0)));
+        // The decoded interner's reverse index works (lookup, not just
+        // resolve).
+        assert_eq!(back.strings.lookup("Top Gun"), c.strings.lookup("Top Gun"));
+        for cut in 0..buf.len() {
+            assert_eq!(Catalog::decode(&mut &buf[..cut]), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn value_kind_tags_reject_garbage() {
+        for k in [ValueKind::Entity, ValueKind::Str, ValueKind::Num] {
+            let mut buf = Vec::new();
+            k.encode(&mut buf);
+            assert_eq!(ValueKind::decode(&mut &buf[..]), Some(k));
+        }
+        assert_eq!(ValueKind::decode(&mut &[7u8][..]), None);
     }
 
     #[test]

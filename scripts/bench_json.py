@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Convert `cargo bench` output lines into a diffable BENCH_*.json.
+
+The vendored criterion shim prints one line per benchmark:
+
+    group/large/espp/chunked64k    time: [612.3 ms 634.1 ms 671.9 ms]  (N iters/sample)
+
+Usage:
+
+    cargo bench -p kf-bench --bench synth_corpus | tee bench.log
+    python3 scripts/bench_json.py --pr 5 bench.log \
+        --filter corpus/ group/ > BENCH_pr5.json
+
+Only rows whose id starts with one of the --filter prefixes are kept
+(all rows when no filter is given). Units normalise to nanoseconds.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<id>\S+)\s+time:\s*\[(?P<min>[\d.]+) (?P<min_u>\S+) "
+    r"(?P<mean>[\d.]+) (?P<mean_u>\S+) (?P<max>[\d.]+) (?P<max_u>\S+)\]"
+)
+
+UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value: str, unit: str) -> float:
+    return float(value) * UNIT_NS[unit]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("logs", nargs="+", help="cargo bench output files")
+    parser.add_argument("--pr", type=int, required=True, help="PR number for the header")
+    parser.add_argument(
+        "--filter",
+        nargs="*",
+        default=[],
+        help="keep only rows whose id starts with one of these prefixes",
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for path in args.logs:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = ROW.match(line.strip())
+                if not m:
+                    continue
+                row_id = m.group("id")
+                if args.filter and not any(row_id.startswith(p) for p in args.filter):
+                    continue
+                rows.append(
+                    {
+                        "id": row_id,
+                        "min_ns": to_ns(m.group("min"), m.group("min_u")),
+                        "mean_ns": to_ns(m.group("mean"), m.group("mean_u")),
+                        "max_ns": to_ns(m.group("max"), m.group("max_u")),
+                    }
+                )
+
+    if not rows:
+        print("no bench rows matched", file=sys.stderr)
+        return 1
+    json.dump({"pr": args.pr, "rows": rows}, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

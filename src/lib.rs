@@ -46,7 +46,7 @@
 //!
 //! Runnable walkthroughs live in `examples/`: `quickstart`,
 //! `calibration_study`, `custom_extractor`, `webscale_pipeline`,
-//! `error_taxonomy`.
+//! `error_taxonomy`, `checkpoint_shard`.
 
 pub use kf_core as core;
 pub use kf_diagnose as diagnose;

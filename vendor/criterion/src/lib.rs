@@ -19,8 +19,21 @@ const BUDGET: Duration = Duration::from_millis(60);
 const SAMPLES: usize = 10;
 
 /// Benchmark driver handed to `criterion_group!` targets.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter over benchmark ids, mirroring real criterion's
+    /// `cargo bench -- <filter>`: non-matching benchmarks are skipped.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument = filter (cargo appends `--bench`
+        // and friends for harness = false targets; ignore flags).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
 
 /// Timing loop handle passed to the closure of
 /// [`Criterion::bench_function`].
@@ -42,11 +55,17 @@ impl Bencher {
 }
 
 impl Criterion {
-    /// Run one named benchmark.
+    /// Run one named benchmark (skipped when a CLI filter is set and the
+    /// id does not contain it).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
         // Calibration: find an iteration count that fills the budget.
         let mut b = Bencher {
             iters: 1,
@@ -121,7 +140,9 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_reports() {
-        let mut c = Criterion::default();
+        // Explicit no-filter Criterion: the default reads this *test*
+        // binary's CLI args, which may carry a libtest name filter.
+        let mut c = Criterion { filter: None };
         let mut calls = 0u64;
         c.bench_function("noop", |b| {
             b.iter(|| {
@@ -130,6 +151,19 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("corpus/".into()),
+        };
+        let mut matched = 0u64;
+        let mut skipped = 0u64;
+        c.bench_function("corpus/load/small", |b| b.iter(|| matched += 1));
+        c.bench_function("fuse/small/vote", |b| b.iter(|| skipped += 1));
+        assert!(matched > 0);
+        assert_eq!(skipped, 0);
     }
 
     #[test]
