@@ -1,13 +1,17 @@
 //! The reproduction harness: generate (or load) a synthetic corpus, fuse
 //! it under the paper's five named systems, evaluate calibration and PR
 //! quality against the LCWA gold standard, and write a diffable
-//! `report.json`.
+//! `report.json` — plus, with `--trace`, a whole-run `trace.json`
+//! (phase span tree, counters, series) and a phase-timing summary on
+//! stdout.
 //!
 //! ```text
 //! cargo run --release --bin repro
 //! cargo run --release --bin repro -- --scale small --seed 7 --out small.json
+//! cargo run --release --bin repro -- --trace trace.json
 //!
-//! # Checkpoint once, fan out, merge (byte-identical to a single run):
+//! # Checkpoint once, fan out, merge (byte-identical to a single run,
+//! # embedded method traces included):
 //! cargo run --release --bin repro -- --save-corpus corpus.kfc
 //! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 0/2 --out s0.bin
 //! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 1/2 --out s1.bin
@@ -15,11 +19,56 @@
 //! ```
 
 use kf_bench::{merge_shards, obtain_corpus, shard_presets, ParseError, ReproOptions};
+use kf_eval::{trace_to_json, Json, MethodEval};
+use kf_telemetry::{Trace, TraceReport};
 use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(1);
+}
+
+/// The whole-run trace: the process-level span tree (corpus obtain,
+/// support index, persistence) with every method trace grafted in as a
+/// phase named after its method, in report (= ablation) order. Under
+/// `--deterministic` all wall-clock fields are quarantined to zero so
+/// same-seed runs produce byte-identical artifacts.
+fn full_run_trace(process: &Trace, methods: &[MethodEval], deterministic: bool) -> TraceReport {
+    let mut full = process.snapshot();
+    for m in methods {
+        if let Some(trace) = &m.trace {
+            full.absorb(&m.name, trace);
+        }
+    }
+    if deterministic {
+        full.quarantine_timings();
+    }
+    full
+}
+
+/// Write the `trace.json` artifact: the assembled whole-run trace plus
+/// each method's own trace (the same sections that ride inside shard
+/// reports), so per-method numbers stay inspectable after assembly.
+fn write_trace(path: &str, full: &TraceReport, methods: &[MethodEval]) {
+    let json = Json::obj([
+        ("schema_version", Json::Uint(1)),
+        ("run", trace_to_json(full)),
+        (
+            "methods",
+            Json::arr(methods.iter().filter_map(|m| {
+                m.trace.as_ref().map(|t| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::Str(m.name.clone())),
+                        ("trace".to_string(), trace_to_json(t)),
+                    ])
+                })
+            })),
+        ),
+    ]);
+    match std::fs::write(path, json.to_string_pretty()) {
+        Ok(()) => println!("wrote trace {path}"),
+        Err(e) => fail(&format!("failed to write trace {path}: {e}")),
+    }
 }
 
 fn main() {
@@ -35,6 +84,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // The process-level trace records everything outside a preset run:
+    // corpus load/generate/save, the shared support index, report I/O.
+    // Preset runs install their own shadowing traces (see kf-bench).
+    let process = Trace::with_root("run");
+    let _telemetry = kf_telemetry::install(&process);
 
     // ---- Merge subflow: shard reports in, one report.json out ----------
     if opts.merge {
@@ -54,12 +109,21 @@ fn main() {
                 Err(e) => fail(&format!("failed to write {path}: {e}")),
             }
         }
+        let full = full_run_trace(&process, &report.methods, opts.deterministic);
+        println!();
+        print!("{}", full.summary());
+        if let Some(path) = &opts.trace {
+            write_trace(path, &full, &report.methods);
+        }
         return;
     }
 
     // ---- Corpus: load the checkpoint or generate ------------------------
     let start = Instant::now();
-    let (corpus, loaded) = obtain_corpus(&opts).unwrap_or_else(|e| fail(&e));
+    let (corpus, loaded) = {
+        let _span = kf_telemetry::span("corpus");
+        obtain_corpus(&opts).unwrap_or_else(|e| fail(&e))
+    };
     println!(
         "corpus[{} seed={}, {}]: {} records, {} unique triples, {} items, \
          {} gold items, lcwa accuracy {:.3} ({:.2}s)",
@@ -86,6 +150,10 @@ fn main() {
             bytes as f64 / (1024.0 * 1024.0),
             start.elapsed().as_secs_f64(),
         );
+        if let Some(tpath) = &opts.trace {
+            let full = full_run_trace(&process, &[], opts.deterministic);
+            write_trace(tpath, &full, &[]);
+        }
         return;
     }
 
@@ -114,6 +182,10 @@ fn main() {
             }
             None => println!("--no-out: shard report not written"),
         }
+        if let Some(tpath) = &opts.trace {
+            let full = full_run_trace(&process, &report.methods, opts.deterministic);
+            write_trace(tpath, &full, &report.methods);
+        }
         return;
     }
 
@@ -122,10 +194,18 @@ fn main() {
     println!();
     print!("{}", report.summary_table());
 
+    let full = full_run_trace(&process, &report.methods, opts.deterministic);
+    println!();
+    print!("{}", full.summary());
+    println!();
+
     if let Some(path) = &opts.out {
         match std::fs::write(path, report.to_json_string()) {
-            Ok(()) => println!("\nwrote {path}"),
+            Ok(()) => println!("wrote {path}"),
             Err(e) => fail(&format!("failed to write {path}: {e}")),
         }
+    }
+    if let Some(path) = &opts.trace {
+        write_trace(path, &full, &report.methods);
     }
 }

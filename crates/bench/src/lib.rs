@@ -75,9 +75,13 @@ pub struct ReproOptions {
     pub merge: bool,
     /// Positional shard-report paths (merge mode only).
     pub merge_inputs: Vec<String>,
-    /// Record `fuse_ms` as 0 so reports from different runs (single vs.
+    /// Zero every wall-clock field (`fuse_ms` and all span timings in the
+    /// embedded traces) so reports from different runs (single vs.
     /// sharded) are byte-comparable.
     pub deterministic: bool,
+    /// Write the whole-run trace (span tree, counters, series) to this
+    /// path as JSON (`--trace PATH`).
+    pub trace: Option<String>,
 }
 
 impl Default for ReproOptions {
@@ -97,6 +101,7 @@ impl Default for ReproOptions {
             merge: false,
             merge_inputs: Vec::new(),
             deterministic: false,
+            trace: None,
         }
     }
 }
@@ -183,6 +188,7 @@ impl ReproOptions {
                 }
                 "--merge" => opts.merge = true,
                 "--deterministic" => opts.deterministic = true,
+                "--trace" => opts.trace = Some(value("--trace")?),
                 "--help" | "-h" => return Err(ParseError::Help),
                 other if !other.starts_with('-') => {
                     opts.merge_inputs.push(other.to_string());
@@ -235,6 +241,8 @@ options:
                                    popaccu_plus_unsup,popaccu_plus
   --no-diagnose                    skip the Fig. 17 error-taxonomy pass
                                    (per-preset \"taxonomy\" report section)
+  --trace PATH                     write the whole-run trace (phase span
+                                   tree, counters, series) as JSON
 
 checkpointing & sharding:
   --save-corpus PATH               generate the corpus, save it as a
@@ -248,8 +256,9 @@ checkpointing & sharding:
   --merge SHARD.bin ...            merge binary shard reports back into
                                    one report.json (positional paths);
                                    methods reassemble in ablation order
-  --deterministic                  record fuse_ms as 0 so single-process
-                                   and merged sharded reports are
+  --deterministic                  zero every wall-clock field (fuse_ms
+                                   and all trace timings) so single-
+                                   process and merged sharded reports are
                                    byte-identical
 ";
 
@@ -334,6 +343,13 @@ pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
 /// carries the Fig. 17 breakdown plus the heuristic-vs-injected confusion
 /// matrix. The batch-level support index and generator-truth join are
 /// computed once and shared by all presets.
+///
+/// Every preset runs under a fresh `kf-telemetry` trace; the resulting
+/// span tree and counters are attached as [`MethodEval::trace`], so
+/// traces ride through shard reports and reassemble under `--merge`.
+/// With `opts.deterministic` the finished report is passed through
+/// [`EvalReport::quarantine_timings`], zeroing `fuse_ms` and every span
+/// duration.
 pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
     let runner = AblationRunner {
         n_bins: opts.bins,
@@ -347,55 +363,76 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
         ..MrConfig::default()
     });
     let diagnosis = opts.diagnose.then(|| {
+        // The support index is shared by all presets, so its cost belongs
+        // to the process-level trace, not any method's.
+        let _span = kf_telemetry::span("support_index");
         let (support, _) = SupportIndex::build(&corpus.batch.records, &mr);
         let truth = corpus.taxonomy_truth();
         let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
         (support, truth, labels)
     });
 
-    let mut methods: Vec<MethodEval> = opts
+    let methods: Vec<MethodEval> = opts
         .presets
         .iter()
         .map(|&preset| {
-            // Without diagnosis the ablation runner's plain path applies —
-            // no provenance attribution is built.
-            let Some((support, truth, labels)) = &diagnosis else {
-                return runner.run_preset(corpus, preset);
+            let run_one = || -> MethodEval {
+                // Without diagnosis the ablation runner's plain path
+                // applies — no provenance attribution is built.
+                let Some((support, truth, labels)) = &diagnosis else {
+                    return runner.run_preset(corpus, preset);
+                };
+                let mut config = preset.config();
+                if let Some(w) = opts.workers {
+                    config = config.with_workers(w);
+                }
+                let gold = preset.needs_gold().then_some(&corpus.gold);
+                let start = Instant::now();
+                let (output, attribution) =
+                    kf_core::Fuser::new(config).run_with_attribution(&corpus.batch, gold);
+                let fuse_ms = start.elapsed().as_secs_f64() * 1e3;
+                let mut method: MethodEval =
+                    runner.evaluate(preset, &output, &corpus.gold, fuse_ms);
+                let taxonomy = {
+                    let _span = kf_telemetry::span("diagnose");
+                    let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, support)
+                        .with_truth(truth)
+                        .with_attribution(&attribution)
+                        .with_extractor_labels(labels)
+                        .with_config(DiagnoseConfig {
+                            mr,
+                            ..Default::default()
+                        })
+                        .run(&output);
+                    taxonomy
+                };
+                method.taxonomy = Some(taxonomy);
+                method
             };
-            let mut config = preset.config();
-            if let Some(w) = opts.workers {
-                config = config.with_workers(w);
-            }
-            let gold = preset.needs_gold().then_some(&corpus.gold);
-            let start = Instant::now();
-            let (output, attribution) =
-                kf_core::Fuser::new(config).run_with_attribution(&corpus.batch, gold);
-            let fuse_ms = start.elapsed().as_secs_f64() * 1e3;
-            let mut method: MethodEval = runner.evaluate(preset, &output, &corpus.gold, fuse_ms);
-            let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, support)
-                .with_truth(truth)
-                .with_attribution(&attribution)
-                .with_extractor_labels(labels)
-                .with_config(DiagnoseConfig {
-                    mr,
-                    ..Default::default()
-                })
-                .run(&output);
-            method.taxonomy = Some(taxonomy);
+            // Each preset runs under its own trace (shadowing any
+            // process-level one), so the shard a preset happens to run in
+            // never changes what its trace records.
+            let trace = kf_telemetry::Trace::with_root("method");
+            let mut method = {
+                let _installed = kf_telemetry::install(&trace);
+                run_one()
+            };
+            method.trace = Some(trace.snapshot());
             method
         })
         .collect();
-    if opts.deterministic {
-        // Wall-clock is the report's only nondeterministic field; zeroing
-        // it makes single-process and merged sharded runs byte-identical.
-        for m in &mut methods {
-            m.fuse_ms = 0.0;
-        }
-    }
-    EvalReport {
+    let mut report = EvalReport {
         corpus: runner.corpus_summary(corpus),
         methods,
+    };
+    if opts.deterministic {
+        // Wall-clock is the report's only nondeterministic content; one
+        // quarantine pass zeroes every timing field (fuse_ms and all span
+        // durations) so single-process and merged sharded runs are
+        // byte-identical.
+        report.quarantine_timings();
     }
+    report
 }
 
 #[cfg(test)]
@@ -426,6 +463,8 @@ mod tests {
             "20",
             "--presets",
             "vote,popaccu",
+            "--trace",
+            "t.json",
         ])
         .unwrap();
         assert_eq!(opts.scale, "tiny");
@@ -434,6 +473,7 @@ mod tests {
         assert_eq!(opts.workers, Some(3));
         assert_eq!(opts.bins, 20);
         assert_eq!(opts.presets, vec![Preset::Vote, Preset::PopAccu]);
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
     }
 
     #[test]
@@ -543,6 +583,32 @@ mod tests {
         // The JSON report names the section for every preset.
         let json = report.to_json_string();
         assert_eq!(json.matches("\"taxonomy\"").count(), 5);
+    }
+
+    #[test]
+    fn methods_carry_traces_and_deterministic_quarantines_them() {
+        let opts = ReproOptions {
+            scale: "tiny".into(),
+            seed: 5,
+            out: None,
+            workers: Some(2),
+            deterministic: true,
+            ..Default::default()
+        };
+        let report = run(&opts).unwrap();
+        for m in &report.methods {
+            assert_eq!(m.fuse_ms, 0.0, "{}: fuse_ms quarantined", m.name);
+            let trace = m.trace.as_ref().expect("trace attached");
+            // The method-level phases are all present...
+            for phase in ["fuse", "eval", "diagnose"] {
+                assert!(trace.root.child(phase).is_some(), "{}: {phase}", m.name);
+            }
+            // ...every span duration is quarantined to zero...
+            assert!(trace.flat_timings().iter().all(|(_, ns)| *ns == 0));
+            // ...and the fusion counters made it across the crate seam.
+            assert!(trace.counters.iter().any(|c| c.name == "fuse.rounds"));
+            assert!(trace.counters.iter().any(|c| c.name == "mr.jobs"));
+        }
     }
 
     #[test]

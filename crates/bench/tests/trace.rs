@@ -1,0 +1,75 @@
+//! The telemetry conservation law, property-tested: the deterministic
+//! section of a run trace — span call counts, counters, series — must be
+//! conserved *exactly* under sharding. Whatever shard split the presets
+//! are fused in, merging the shard reports reassembles a combined trace
+//! identical to the single-process run's, because every method's trace
+//! derives only from the corpus and its own configuration (the
+//! determinism ledger), never from which process happened to host it.
+
+use kf_bench::{run_on_corpus, shard_presets, ReproOptions};
+use kf_eval::{merge_reports, Preset};
+use kf_synth::{Corpus, SynthConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// The strategy space is small (seed × shard count) while the vendored
+/// `proptest!` always draws 100 cases; skipping repeats keeps the test
+/// a property test without fusing the same corpus split twice.
+fn first_visit(seed: u64, n_shards: usize) -> bool {
+    static SEEN: OnceLock<Mutex<HashSet<(u64, usize)>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap()
+        .insert((seed, n_shards))
+}
+
+fn options(seed: u64) -> ReproOptions {
+    ReproOptions {
+        scale: "tiny".into(),
+        seed,
+        out: None,
+        workers: Some(2),
+        deterministic: true,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn deterministic_trace_conserves_across_shard_merge(
+        seed in 0u64..6,
+        n_shards in 1usize..=3,
+    ) {
+        if first_visit(seed, n_shards) {
+            let corpus = Corpus::generate(&SynthConfig::tiny(), seed);
+
+            // Single-process reference.
+            let single = run_on_corpus(&options(seed), &corpus);
+
+            // The same presets fused shard by shard, then merged.
+            let shards: Vec<_> = (0..n_shards)
+                .map(|index| {
+                    let mut opts = options(seed);
+                    opts.presets = shard_presets(&Preset::ALL, index, n_shards);
+                    run_on_corpus(&opts, &corpus)
+                })
+                .collect();
+            let merged = merge_reports(shards).unwrap();
+
+            // Per-method traces are conserved verbatim...
+            prop_assert_eq!(single.methods.len(), merged.methods.len());
+            for (a, b) in single.methods.iter().zip(&merged.methods) {
+                prop_assert_eq!(&a.name, &b.name);
+                prop_assert!(a.trace.is_some(), "{} lost its trace", a.name);
+                prop_assert_eq!(&a.trace, &b.trace, "{} trace drifted", a.name);
+            }
+
+            // ...and so is the combined whole-run trace (counters added,
+            // series concatenated in ablation order, span calls unified).
+            let single_trace = single.combined_trace().expect("combined trace");
+            let merged_trace = merged.combined_trace().expect("combined trace");
+            prop_assert_eq!(single_trace, merged_trace);
+        }
+    }
+}

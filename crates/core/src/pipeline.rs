@@ -91,9 +91,13 @@ impl Fuser {
         gold: Option<&GoldStandard>,
     ) -> (FusionOutput, Grouped) {
         let cfg = &self.config;
+        let _fuse = kf_telemetry::span("fuse");
         // The grouping job's counters (including the single grouping pass's
         // shuffle volume and residency peak) seed the pipeline totals.
-        let (mut grouped, mut stats) = Grouped::build_with_stats(records, cfg.granularity, &cfg.mr);
+        let (mut grouped, mut stats) = {
+            let _group = kf_telemetry::span("group");
+            Grouped::build_with_stats(records, cfg.granularity, &cfg.mr)
+        };
 
         // ---- Accuracy initialisation (§4.3.3) -----------------------------
         grouped.provs.reset_accuracy(cfg.default_accuracy);
@@ -126,8 +130,13 @@ impl Fuser {
         };
         let mut round_deltas = Vec::with_capacity(cfg.rounds);
         let outcome = driver.run(|round| {
+            let _round = kf_telemetry::span("round");
+            kf_telemetry::add("fuse.rounds", 1);
             // Stage I: probabilities from current accuracies.
-            let (stage1, s1_stats) = self.stage_one(&grouped, &offsets, round);
+            let (stage1, s1_stats) = {
+                let _s1 = kf_telemetry::span("stage1");
+                self.stage_one(&grouped, &offsets, round)
+            };
             stats.merge(&s1_stats);
             for (slot, p, fb) in stage1 {
                 probs[slot] = p;
@@ -137,13 +146,18 @@ impl Fuser {
             // VOTE runs a single stage-I pass; no accuracy iteration.
             if !cfg.method.iterative() {
                 round_deltas.push(0.0);
+                kf_telemetry::push_series("fuse.round_delta", 0.0);
                 return 0.0;
             }
 
             // Stage II: accuracies from probabilities.
-            let (delta, s2_stats) = self.stage_two(&mut grouped, &offsets, &probs, round);
+            let (delta, s2_stats) = {
+                let _s2 = kf_telemetry::span("stage2");
+                self.stage_two(&mut grouped, &offsets, &probs, round)
+            };
             stats.merge(&s2_stats);
             round_deltas.push(delta);
+            kf_telemetry::push_series("fuse.round_delta", delta);
             delta
         });
 
@@ -163,6 +177,8 @@ impl Fuser {
             }
         }
 
+        kf_telemetry::add("fuse.provenances", grouped.provs.len() as u64);
+        kf_telemetry::add("fuse.scored_triples", scored.len() as u64);
         let output = FusionOutput {
             scored,
             outcome,

@@ -48,4 +48,4 @@ pub use json::Json;
 pub use labels::{LabeledOutput, LabeledTriple};
 pub use persist::{merge_reports, MergeError};
 pub use pr::{pr_curve, precision_at_k, PrCurve, PrPoint};
-pub use report::{evaluate_labeled, CorpusSummary, EvalReport, MethodEval};
+pub use report::{evaluate_labeled, trace_to_json, CorpusSummary, EvalReport, MethodEval};

@@ -131,6 +131,7 @@ impl KvCodec for MethodEval {
         self.precision_at.encode(out);
         self.fuse_ms.encode(out);
         self.taxonomy.encode(out);
+        self.trace.encode(out);
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         Some(MethodEval {
@@ -148,6 +149,7 @@ impl KvCodec for MethodEval {
             precision_at: Vec::decode(input)?,
             fuse_ms: f64::decode(input)?,
             taxonomy: Option::<TaxonomyReport>::decode(input)?,
+            trace: Option::<kf_telemetry::TraceReport>::decode(input)?,
         })
     }
 }
@@ -192,12 +194,22 @@ impl EvalReport {
     /// Atomically write this report (full or one shard's slice) as a
     /// headered binary checkpoint file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        checkpoint::save(path.as_ref(), ArtifactKind::Report, self)
+        let _save = kf_telemetry::span("report_save");
+        checkpoint::save(path.as_ref(), ArtifactKind::Report, self)?;
+        if let Ok(meta) = std::fs::metadata(path.as_ref()) {
+            kf_telemetry::add("persist.bytes_written", meta.len());
+        }
+        Ok(())
     }
 
     /// Load a report checkpoint written by [`EvalReport::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<EvalReport, CheckpointError> {
-        checkpoint::load(path.as_ref(), ArtifactKind::Report)
+        let _load = kf_telemetry::span("report_load");
+        let report = checkpoint::load(path.as_ref(), ArtifactKind::Report)?;
+        if let Ok(meta) = std::fs::metadata(path.as_ref()) {
+            kf_telemetry::add("persist.bytes_read", meta.len());
+        }
+        Ok(report)
     }
 }
 

@@ -77,6 +77,18 @@
 //!         "systematic_attribution":  // the ≥0.9 CI gates (null when no
 //!           {"correct": …, "total": …, "accuracy": …},  // ground truth)
 //!         "generalized_attribution": {…}|null
+//!       },
+//!       "trace": {                   // kf-telemetry run trace for this
+//!                                    //   method; omitted when not traced
+//!         "deterministic": {         // byte-identical across same-seed runs
+//!           "spans": {"name": "run", "calls": 1, "children": [ … ]},
+//!           "counters": [ {"name": "mr.map_output", "value": …,
+//!                          "merge": "add"|"max"}, … ],
+//!           "series": [ {"name": "fuse.round_delta", "values": [ … ]}, … ]
+//!         },
+//!         "timings": [               // wall clock, quarantined: all zero
+//!           {"path": "run/fuse/round", "total_ns": …}, …  // under --deterministic
+//!         ]
 //!       }
 //!     }, …
 //!   ]
@@ -92,6 +104,7 @@ use crate::calibration::{CalibrationBin, CalibrationCurve};
 use crate::json::Json;
 use crate::labels::LabeledOutput;
 use crate::pr::PrCurve;
+use kf_telemetry::{SpanNode, TraceReport};
 use kf_types::{ErrorCategory, TaxonomyReport};
 
 /// Maximum PR points serialized per method; the full curve (one point per
@@ -133,6 +146,12 @@ pub struct MethodEval {
     /// positives, when the diagnosis pass ran (`kf-diagnose`; the `repro`
     /// harness attaches one per preset). `None` omits the section.
     pub taxonomy: Option<TaxonomyReport>,
+    /// `kf-telemetry` trace of this method's fuse + evaluate + diagnose
+    /// work, when the harness recorded one (`repro` installs a per-method
+    /// trace). `None` omits the section. Per-method traces ride through
+    /// shard reports untouched, which is what lets `--merge` reassemble
+    /// the whole-run trace exactly.
+    pub trace: Option<TraceReport>,
 }
 
 impl MethodEval {
@@ -184,8 +203,66 @@ impl MethodEval {
         if let Some(taxonomy) = &self.taxonomy {
             fields.push(("taxonomy", taxonomy_to_json(taxonomy)));
         }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", trace_to_json(trace)));
+        }
         Json::obj(fields)
     }
+
+    /// Zero every wall-clock field of this evaluation — `fuse_ms` and all
+    /// span timings in the trace — leaving the deterministic sections
+    /// untouched. The `--deterministic` quarantine.
+    pub fn quarantine_timings(&mut self) {
+        self.fuse_ms = 0.0;
+        if let Some(trace) = &mut self.trace {
+            trace.quarantine_timings();
+        }
+    }
+}
+
+/// Serialize a [`TraceReport`] with its deterministic section (span
+/// calls, counters, series) split from the quarantined timing section
+/// (flat span paths with `total_ns`). See the module docs for the shape.
+pub fn trace_to_json(t: &TraceReport) -> Json {
+    fn span_to_json(n: &SpanNode) -> Json {
+        let mut fields = vec![
+            ("name", Json::from(n.name.clone())),
+            ("calls", Json::from(n.calls)),
+        ];
+        if !n.children.is_empty() {
+            fields.push(("children", Json::arr(n.children.iter().map(span_to_json))));
+        }
+        Json::obj(fields)
+    }
+    let deterministic = Json::obj([
+        ("spans", span_to_json(&t.root)),
+        (
+            "counters",
+            Json::arr(t.counters.iter().map(|c| {
+                Json::obj([
+                    ("name", Json::from(c.name.clone())),
+                    ("value", Json::from(c.value)),
+                    ("merge", Json::from(c.rule.name())),
+                ])
+            })),
+        ),
+        (
+            "series",
+            Json::arr(t.series.iter().map(|s| {
+                Json::obj([
+                    ("name", Json::from(s.name.clone())),
+                    ("values", Json::arr(s.values.iter().map(|&v| Json::from(v)))),
+                ])
+            })),
+        ),
+    ]);
+    let timings = Json::arr(t.flat_timings().into_iter().map(|(path, total_ns)| {
+        Json::obj([
+            ("path", Json::from(path)),
+            ("total_ns", Json::from(total_ns)),
+        ])
+    }));
+    Json::obj([("deterministic", deterministic), ("timings", timings)])
 }
 
 /// One count per category as a JSON object keyed by category name.
@@ -368,6 +445,33 @@ impl EvalReport {
         self.to_json().to_string_pretty()
     }
 
+    /// Zero every wall-clock field in the report (each method's `fuse_ms`
+    /// and trace timings). One helper instead of per-field special cases:
+    /// new timing fields are quarantined by construction.
+    pub fn quarantine_timings(&mut self) {
+        for m in &mut self.methods {
+            m.quarantine_timings();
+        }
+    }
+
+    /// The whole-run trace: per-method traces folded in ablation (=
+    /// `methods`) order, each grafted under a phase named after its
+    /// method. `None` when no method carries a trace. Because the fold
+    /// order is the method order, a merged report reassembles exactly the
+    /// trace a single-process run produces — series concatenate in
+    /// ablation order either way.
+    pub fn combined_trace(&self) -> Option<TraceReport> {
+        let mut combined: Option<TraceReport> = None;
+        for m in &self.methods {
+            if let Some(trace) = &m.trace {
+                combined
+                    .get_or_insert_with(|| TraceReport::empty("run"))
+                    .absorb(&m.name, trace);
+            }
+        }
+        combined
+    }
+
     /// Fixed-width summary table (one line per method) for terminal output.
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
@@ -411,13 +515,26 @@ pub fn evaluate_labeled(
     use crate::calibration::{calibration_curve, Binning};
     use crate::pr::{pr_curve_sorted, precision_at_k_sorted, sort_descending};
 
+    let _eval = kf_telemetry::span("eval");
+    kf_telemetry::add("eval.labelled", labeled.n_labelled() as u64);
     let preds = labeled.predictions();
     // One descending sort serves the PR curve and every precision@k.
-    let sorted = sort_descending(&preds);
-    let precision_at = ks
-        .iter()
-        .filter_map(|&k| precision_at_k_sorted(&sorted, k).map(|p| (k, p)))
-        .collect();
+    let (precision_at, pr) = {
+        let _pr = kf_telemetry::span("pr");
+        let sorted = sort_descending(&preds);
+        let precision_at: Vec<(usize, f64)> = ks
+            .iter()
+            .filter_map(|&k| precision_at_k_sorted(&sorted, k).map(|p| (k, p)))
+            .collect();
+        (precision_at, pr_curve_sorted(&sorted))
+    };
+    let (calibration_width, calibration_mass) = {
+        let _cal = kf_telemetry::span("calibration");
+        (
+            calibration_curve(&preds, Binning::EqualWidth(n_bins)),
+            calibration_curve(&preds, Binning::EqualMass(n_bins)),
+        )
+    };
     MethodEval {
         name: name.to_string(),
         label: label.to_string(),
@@ -427,12 +544,13 @@ pub fn evaluate_labeled(
         n_unpredicted: labeled.n_unpredicted,
         coverage: labeled.coverage(),
         predicted_fraction,
-        calibration_width: calibration_curve(&preds, Binning::EqualWidth(n_bins)),
-        calibration_mass: calibration_curve(&preds, Binning::EqualMass(n_bins)),
-        pr: pr_curve_sorted(&sorted),
+        calibration_width,
+        calibration_mass,
+        pr,
         precision_at,
         fuse_ms,
         taxonomy: None,
+        trace: None,
     }
 }
 
@@ -460,6 +578,7 @@ mod tests {
             precision_at: vec![(100, 0.5)],
             fuse_ms: 1.0,
             taxonomy: None,
+            trace: None,
         }
     }
 

@@ -349,6 +349,12 @@ struct ShuffleOutcome<K, V> {
     /// Peak grouped records resident across all accumulators at once.
     peak_grouped: u64,
     spilled_bytes: u64,
+    /// Run files written (mid-wave spills plus tail flushes).
+    spill_runs: u64,
+    /// Combiner invocations across merge, spill and flush.
+    combiner_invocations: u64,
+    /// Map waves executed (`0` for the unchunked shuffle).
+    waves: u64,
     /// Keeps the spill directory (and its run files) alive until the
     /// reduce phase has merged them; dropping it removes everything.
     spill_dir: Option<SpillDir>,
@@ -383,34 +389,46 @@ where
     } else {
         cfg.spill_threshold_records
     };
-    let outcome = if quota == 0 {
-        let (records, map_output) = shuffle_unchunked(inputs, workers, partitions, &mapper);
-        ShuffleOutcome {
-            partitions: records.into_iter().map(Partition::Raw).collect(),
-            map_output,
-            // The whole raw shuffle is resident at once, and the reduce
-            // phase groups it wholesale.
-            peak_raw: map_output,
-            peak_grouped: map_output,
-            spilled_bytes: 0,
-            spill_dir: None,
+    let outcome = {
+        let _shuffle = kf_telemetry::span("shuffle");
+        if quota == 0 {
+            let (records, map_output) = {
+                let _map = kf_telemetry::span("map");
+                shuffle_unchunked(inputs, workers, partitions, &mapper)
+            };
+            ShuffleOutcome {
+                partitions: records.into_iter().map(Partition::Raw).collect(),
+                map_output,
+                // The whole raw shuffle is resident at once, and the reduce
+                // phase groups it wholesale.
+                peak_raw: map_output,
+                peak_grouped: map_output,
+                spilled_bytes: 0,
+                spill_runs: 0,
+                combiner_invocations: 0,
+                waves: 0,
+                spill_dir: None,
+            }
+        } else {
+            shuffle_external(
+                inputs,
+                workers,
+                partitions,
+                quota,
+                cfg.spill_threshold_records,
+                cfg.spill_dir,
+                combiner,
+                &mapper,
+            )
         }
-    } else {
-        shuffle_external(
-            inputs,
-            workers,
-            partitions,
-            quota,
-            cfg.spill_threshold_records,
-            cfg.spill_dir,
-            combiner,
-            &mapper,
-        )
     };
     stats.map_output = outcome.map_output;
     stats.peak_resident_records = outcome.peak_raw;
     stats.peak_grouped_records = outcome.peak_grouped;
     stats.spilled_bytes = outcome.spilled_bytes;
+    stats.spill_runs = outcome.spill_runs;
+    stats.combiner_invocations = outcome.combiner_invocations;
+    let waves = outcome.waves;
     // Bind the guard so run files survive until reduction finishes; the
     // drop at the end of this function (or during a panic unwind) removes
     // the spill directory.
@@ -431,6 +449,7 @@ where
         .map(|p| std::sync::Mutex::new(Some(p)))
         .collect();
 
+    let _reduce = kf_telemetry::span("reduce");
     let mut results: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(partitions);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -489,6 +508,24 @@ where
         stats.reduce_keys += n_keys;
         stats.reduce_output += out.len() as u64;
         output.extend(out);
+    }
+    drop(_reduce);
+
+    // Fold the finished job into the installed trace (no-op when none):
+    // volume counters add across jobs, residency peaks take the max —
+    // the same rules `JobStats::merge` applies.
+    if let Some(t) = kf_telemetry::current() {
+        t.add("mr.jobs", 1);
+        t.add("mr.map_input", stats.map_input);
+        t.add("mr.map_output", stats.map_output);
+        t.add("mr.reduce_keys", stats.reduce_keys);
+        t.add("mr.reduce_output", stats.reduce_output);
+        t.add("mr.waves", waves);
+        t.add("mr.spill_runs", stats.spill_runs);
+        t.add("mr.spilled_bytes", stats.spilled_bytes);
+        t.add("mr.combiner_invocations", stats.combiner_invocations);
+        t.record_max("mr.peak_resident_records", stats.peak_resident_records);
+        t.record_max("mr.peak_grouped_records", stats.peak_grouped_records);
     }
     (output, stats)
 }
@@ -612,6 +649,9 @@ where
     // threshold never touch the filesystem.
     let mut spill_dir: Option<SpillDir> = None;
     let mut spilled_bytes = 0u64;
+    let mut spill_runs = 0u64;
+    let mut combiner_invocations = 0u64;
+    let mut waves = 0u64;
     let mut resident = 0u64; // grouped records currently accumulated
     let mut peak_grouped = 0u64;
     let mut emitted_total = 0u64;
@@ -619,7 +659,7 @@ where
     std::thread::scope(|scope| {
         type Writer<'s, K, V> = (
             std::sync::mpsc::SyncSender<SpillBatch<K, V>>,
-            std::thread::ScopedJoinHandle<'s, u64>,
+            std::thread::ScopedJoinHandle<'s, (u64, u64)>,
         );
         // Spawned lazily on the first spill; jobs that never spill never
         // pay for the thread.
@@ -650,8 +690,13 @@ where
                 (((quota as f64) / fanout).ceil() as usize).min(last_wave.0.saturating_mul(2))
             }
             .clamp(1, inputs.len() - consumed);
+            let _wave_span = kf_telemetry::span("wave");
+            waves += 1;
             let wave = &inputs[consumed..consumed + wave_len];
-            let emitters = map_slice(wave, workers, partitions, mapper);
+            let emitters = {
+                let _map = kf_telemetry::span("map");
+                map_slice(wave, workers, partitions, mapper)
+            };
             let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
             peak_raw = peak_raw.max(wave_emitted);
             emitted_total += wave_emitted;
@@ -664,6 +709,7 @@ where
                 && resident > 0
                 && resident + wave_emitted > spill_threshold as u64
             {
+                let _spill = kf_telemetry::span("spill");
                 let dir = spill_dir.get_or_insert_with(|| SpillDir::create(spill_base));
                 // Snapshot non-empty accumulators and assign their run
                 // paths now — path order is what the k-way merge replays,
@@ -677,19 +723,26 @@ where
                     runs[p].push(path.clone());
                     batch.push((std::mem::take(group), path));
                 }
+                spill_runs += batch.len() as u64;
                 let (tx, _) = writer.get_or_insert_with(|| {
                     let (tx, rx) = std::sync::mpsc::sync_channel::<SpillBatch<K, V>>(0);
                     let handle = scope.spawn(move || {
-                        let mut bytes = 0u64;
+                        let (mut bytes, mut combines) = (0u64, 0u64);
                         while let Ok(batch) = rx.recv() {
                             for (group, path) in batch {
-                                bytes += spill_one(group, &path, combiner);
+                                let (b, c) = spill_one(group, &path, combiner);
+                                bytes += b;
+                                combines += c;
                             }
                         }
-                        bytes
+                        (bytes, combines)
                     });
                     (tx, handle)
                 });
+                // The rendezvous send blocks while the writer is still on
+                // the previous batch — that block is the spill-writer
+                // queue stall.
+                let _stall = kf_telemetry::span("stall");
                 if tx.send(batch).is_err() {
                     // The writer died mid-job (an I/O panic): join it so
                     // the original panic propagates instead of a send
@@ -702,7 +755,12 @@ where
                 }
                 resident = 0;
             }
-            let delta = merge_wave(emitters, &mut groups, workers, combiner);
+            let delta = {
+                let _merge = kf_telemetry::span("merge");
+                let (delta, combines) = merge_wave(emitters, &mut groups, workers, combiner);
+                combiner_invocations += combines;
+                delta
+            };
             resident = resident.saturating_add_signed(delta);
             peak_grouped = peak_grouped.max(resident);
         }
@@ -710,7 +768,10 @@ where
         if let Some((tx, handle)) = writer.take() {
             drop(tx);
             match handle.join() {
-                Ok(bytes) => spilled_bytes += bytes,
+                Ok((bytes, combines)) => {
+                    spilled_bytes += bytes;
+                    combiner_invocations += combines;
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
@@ -720,6 +781,7 @@ where
     // final run (the latest input, so it merges last); partitions that
     // never spilled reduce from memory. The writer thread has already
     // been joined, so these writes cannot race an in-flight batch.
+    let _flush = kf_telemetry::span("flush");
     let partitions_out: Vec<Partition<K, V>> = groups
         .into_iter()
         .zip(runs)
@@ -731,13 +793,17 @@ where
                 if !group.is_empty() {
                     let dir = spill_dir.as_ref().expect("runs exist without a spill dir");
                     let path = dir.run_path(p, run_files.len());
-                    spilled_bytes += spill_one(group, &path, combiner);
+                    let (bytes, combines) = spill_one(group, &path, combiner);
+                    spilled_bytes += bytes;
+                    combiner_invocations += combines;
+                    spill_runs += 1;
                     run_files.push(path);
                 }
                 Partition::Spilled(run_files)
             }
         })
         .collect();
+    drop(_flush);
 
     ShuffleOutcome {
         partitions: partitions_out,
@@ -745,6 +811,9 @@ where
         peak_raw,
         peak_grouped,
         spilled_bytes,
+        spill_runs,
+        combiner_invocations,
+        waves,
         spill_dir,
     }
 }
@@ -752,21 +821,27 @@ where
 /// Sort, (re-)combine and write one partition accumulator as the run file
 /// at `path`. Runs on the spill-writer thread for mid-job spills and on
 /// the coordinating thread for the final tail flush. Returns the bytes
-/// written.
-fn spill_one<K, V>(group: Groups<K, V>, path: &Path, combiner: Option<&dyn Combiner<V>>) -> u64
+/// written and the combiner invocations made.
+fn spill_one<K, V>(
+    group: Groups<K, V>,
+    path: &Path,
+    combiner: Option<&dyn Combiner<V>>,
+) -> (u64, u64)
 where
     K: Hash + Eq + Ord + KvCodec,
     V: KvCodec,
 {
     let mut sorted: Vec<(K, Vec<V>)> = group.into_iter().collect();
     sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut combines = 0u64;
     if let Some(c) = combiner {
         // One last squeeze before paying for the bytes.
         for (_, values) in &mut sorted {
             c.combine(values);
+            combines += 1;
         }
     }
-    write_run(path, &sorted)
+    (write_run(path, &sorted), combines)
 }
 
 /// Drain one wave's emitter buffers into the per-partition group
@@ -774,13 +849,13 @@ where
 /// input order; partitions are merged in parallel (each partition is owned
 /// by exactly one merge task, so no locks). Returns the net change in
 /// grouped records resident (additions minus records folded away by the
-/// combiner).
+/// combiner) and the number of combiner invocations.
 fn merge_wave<K, V>(
     emitters: Vec<Emitter<K, V>>,
     groups: &mut [Groups<K, V>],
     workers: usize,
     combiner: Option<&dyn Combiner<V>>,
-) -> i64
+) -> (i64, u64)
 where
     K: Hash + Eq + Send,
     V: Send,
@@ -800,44 +875,51 @@ where
         }
     }
     if workers == 1 || partitions == 1 || wave_records < PARALLEL_MERGE_THRESHOLD {
-        let mut delta = 0i64;
+        let (mut delta, mut combines) = (0i64, 0u64);
         for (group, bufs) in groups.iter_mut().zip(per_partition) {
-            delta += merge_buffers(group, bufs, combiner);
+            let (d, c) = merge_buffers(group, bufs, combiner);
+            delta += d;
+            combines += c;
         }
-        return delta;
+        return (delta, combines);
     }
     type MergeTask<'a, K, V> = (&'a mut Groups<K, V>, Vec<Vec<(K, V)>>);
     let mut tasks: Vec<MergeTask<'_, K, V>> = groups.iter_mut().zip(per_partition).collect();
     let per_worker = tasks.len().div_ceil(workers).max(1);
-    let mut delta = 0i64;
+    let (mut delta, mut combines) = (0i64, 0u64);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         while !tasks.is_empty() {
             let chunk: Vec<_> = tasks.drain(..per_worker.min(tasks.len())).collect();
             handles.push(scope.spawn(move || {
-                let mut local = 0i64;
+                let (mut local, mut local_combines) = (0i64, 0u64);
                 for (group, bufs) in chunk {
-                    local += merge_buffers(group, bufs, combiner);
+                    let (d, c) = merge_buffers(group, bufs, combiner);
+                    local += d;
+                    local_combines += c;
                 }
-                local
+                (local, local_combines)
             }));
         }
         for h in handles {
-            delta += h.join().expect("merge worker panicked");
+            let (d, c) = h.join().expect("merge worker panicked");
+            delta += d;
+            combines += c;
         }
     });
-    delta
+    (delta, combines)
 }
 
 /// Append raw buffers into a group accumulator, combining any group whose
 /// buffer reaches a power-of-two length ≥ [`COMBINE_TRIGGER`]. Returns
-/// the net change in resident records.
+/// the net change in resident records and the combiner invocations made.
 fn merge_buffers<K: Hash + Eq, V>(
     group: &mut Groups<K, V>,
     bufs: Vec<Vec<(K, V)>>,
     combiner: Option<&dyn Combiner<V>>,
-) -> i64 {
+) -> (i64, u64) {
     let mut delta = 0i64;
+    let mut combines = 0u64;
     for buf in bufs {
         for (k, v) in buf {
             let values = group.entry(k).or_default();
@@ -847,12 +929,13 @@ fn merge_buffers<K: Hash + Eq, V>(
                 let len = values.len();
                 if len >= COMBINE_TRIGGER && len.is_power_of_two() {
                     c.combine(values);
+                    combines += 1;
                     delta += values.len() as i64 - len as i64;
                 }
             }
         }
     }
-    delta
+    (delta, combines)
 }
 
 #[cfg(test)]
@@ -1082,6 +1165,11 @@ mod tests {
         assert_eq!(baseline, out);
         assert!(stats.spilled_bytes > 0);
         assert!(stats.peak_grouped_records <= 2_048 + 1_024);
+        assert!(stats.spill_runs > 0, "spilling must write run files");
+        assert!(
+            stats.combiner_invocations > 0,
+            "hot keys must trip the combiner"
+        );
     }
 
     #[test]
@@ -1109,6 +1197,56 @@ mod tests {
         assert_eq!(stats_a.spilled_bytes, stats_b.spilled_bytes);
         assert_eq!(stats_a.peak_grouped_records, stats_b.peak_grouped_records);
         assert_eq!(stats_a.peak_resident_records, stats_b.peak_resident_records);
+        assert!(stats_a.spill_runs > 0);
+        // The whole counter block is deterministic, new fields included.
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn installed_trace_mirrors_job_stats() {
+        let inputs: Vec<u64> = (0..10_000).collect();
+        let cfg = MrConfig::with_workers(2)
+            .with_chunk_records(512)
+            .with_spill_threshold(2_048);
+        let trace = kf_telemetry::Trace::new();
+        let (_, stats) = {
+            let _t = kf_telemetry::install(&trace);
+            map_reduce_with_stats(
+                &cfg,
+                &inputs,
+                |&x, emit: &mut Emitter<u64, u64>| emit.emit(x % 1_021, x),
+                |k, vs| vec![(*k, vs.len() as u64)],
+            )
+        };
+        let report = trace.snapshot();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(counter("mr.jobs"), 1);
+        assert_eq!(counter("mr.map_input"), stats.map_input);
+        assert_eq!(counter("mr.map_output"), stats.map_output);
+        assert_eq!(counter("mr.reduce_keys"), stats.reduce_keys);
+        assert_eq!(counter("mr.spilled_bytes"), stats.spilled_bytes);
+        assert_eq!(counter("mr.spill_runs"), stats.spill_runs);
+        assert_eq!(
+            counter("mr.peak_grouped_records"),
+            stats.peak_grouped_records
+        );
+        assert!(counter("mr.waves") > 0);
+        // The span tree has the engine phases in the right places: waves
+        // under the shuffle, map/spill/merge under the wave.
+        let shuffle = report.root.child("shuffle").expect("shuffle span");
+        let wave = shuffle.child("wave").expect("wave span");
+        assert_eq!(wave.calls, counter("mr.waves"));
+        assert!(wave.child("map").is_some());
+        assert!(wave.child("spill").is_some());
+        assert!(wave.child("merge").is_some());
+        assert!(report.root.child("reduce").is_some());
     }
 
     #[test]

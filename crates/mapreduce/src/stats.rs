@@ -27,6 +27,15 @@ pub struct JobStats {
     /// Total bytes written to spill run files (frames plus their length
     /// prefixes); `0` when the job never spilled.
     pub spilled_bytes: u64,
+    /// Sorted run files written by the external shuffle (mid-wave spills
+    /// plus end-of-job tail flushes); `0` when the job never spilled.
+    /// Compaction re-merges of existing runs do not count — like
+    /// `spilled_bytes`, this counts shuffle output leaving memory.
+    pub spill_runs: u64,
+    /// Times a [`Combiner`](crate::Combiner) folded a group buffer —
+    /// during wave merges, while spilling, or in compaction. `0` when the
+    /// job has no combiner. Deterministic for a fixed input and config.
+    pub combiner_invocations: u64,
 }
 
 impl JobStats {
@@ -68,6 +77,8 @@ impl JobStats {
         self.peak_resident_records = self.peak_resident_records.max(other.peak_resident_records);
         self.peak_grouped_records = self.peak_grouped_records.max(other.peak_grouped_records);
         self.spilled_bytes += other.spilled_bytes;
+        self.spill_runs += other.spill_runs;
+        self.combiner_invocations += other.combiner_invocations;
     }
 }
 
@@ -107,6 +118,8 @@ mod tests {
             peak_resident_records: 20,
             peak_grouped_records: 15,
             spilled_bytes: 1_000,
+            spill_runs: 3,
+            combiner_invocations: 7,
         });
         assert_eq!(a.map_input, 15);
         assert_eq!(a.map_output, 20);
@@ -115,6 +128,8 @@ mod tests {
         assert_eq!(a.peak_resident_records, 20);
         assert_eq!(a.peak_grouped_records, 15);
         assert_eq!(a.spilled_bytes, 1_000);
+        assert_eq!(a.spill_runs, 3);
+        assert_eq!(a.combiner_invocations, 7);
     }
 
     #[test]

@@ -36,27 +36,51 @@ use std::path::Path;
 /// encoding stays sequential, deterministic and canonical.
 impl KvCodec for Corpus {
     fn encode(&self, out: &mut Vec<u8>) {
+        let _enc = kf_telemetry::span("corpus_encode");
+        let trace = kf_telemetry::current();
+        let mut mark = out.len();
+        let mut segment_done = |name: &'static str, out: &Vec<u8>| {
+            if let Some(t) = &trace {
+                t.add(name, (out.len() - mark) as u64);
+            }
+            mark = out.len();
+        };
         codec::encode_segment(&self.world, out);
+        segment_done("persist.enc.world_bytes", out);
         codec::encode_segment(&self.web, out);
+        segment_done("persist.enc.web_bytes", out);
         codec::encode_segment(&self.gold, out);
+        segment_done("persist.enc.gold_bytes", out);
         codec::encode_segment(&self.batch, out);
+        segment_done("persist.enc.batch_bytes", out);
         // The parallel per-record vectors travel as one-byte index
         // columns, not element-wise enums.
         let sections: Vec<u8> = self.sections.iter().map(|s| s.index() as u8).collect();
         let outcomes: Vec<u8> = self.outcomes.iter().map(|o| o.index() as u8).collect();
         codec::encode_segment(&sections, out);
+        segment_done("persist.enc.sections_bytes", out);
         codec::encode_segment(&outcomes, out);
+        segment_done("persist.enc.outcomes_bytes", out);
         self.extractors.encode(out);
         self.seed.encode(out);
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
+        let _dec = kf_telemetry::span("corpus_decode");
         let world_seg = codec::take_segment(input)?;
         let web_seg = codec::take_segment(input)?;
         let gold_seg = codec::take_segment(input)?;
         let batch_seg = codec::take_segment(input)?;
         let sections_seg = codec::take_segment(input)?;
         let outcomes_seg = codec::take_segment(input)?;
+        if let Some(t) = kf_telemetry::current() {
+            t.add("persist.dec.world_bytes", world_seg.len() as u64);
+            t.add("persist.dec.web_bytes", web_seg.len() as u64);
+            t.add("persist.dec.gold_bytes", gold_seg.len() as u64);
+            t.add("persist.dec.batch_bytes", batch_seg.len() as u64);
+            t.add("persist.dec.sections_bytes", sections_seg.len() as u64);
+            t.add("persist.dec.outcomes_bytes", outcomes_seg.len() as u64);
+        }
         let extractors = Vec::<ExtractorSpec>::decode(input)?;
         let seed = u64::decode(input)?;
 
@@ -151,7 +175,12 @@ impl Corpus {
     /// # Ok::<(), kf_types::CheckpointError>(())
     /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        checkpoint::save(path.as_ref(), ArtifactKind::Corpus, self)
+        let _save = kf_telemetry::span("corpus_save");
+        checkpoint::save(path.as_ref(), ArtifactKind::Corpus, self)?;
+        if let Ok(meta) = std::fs::metadata(path.as_ref()) {
+            kf_telemetry::add("persist.bytes_written", meta.len());
+        }
+        Ok(())
     }
 
     /// Load a corpus checkpoint written by [`Corpus::save`].
@@ -161,7 +190,12 @@ impl Corpus {
     /// version skew, a different artifact kind, truncation, or trailing
     /// bytes.
     pub fn load(path: impl AsRef<Path>) -> Result<Corpus, CheckpointError> {
-        checkpoint::load(path.as_ref(), ArtifactKind::Corpus)
+        let _load = kf_telemetry::span("corpus_load");
+        let corpus = checkpoint::load(path.as_ref(), ArtifactKind::Corpus)?;
+        if let Ok(meta) = std::fs::metadata(path.as_ref()) {
+            kf_telemetry::add("persist.bytes_read", meta.len());
+        }
+        Ok(corpus)
     }
 }
 

@@ -1,0 +1,305 @@
+//! # `kf-telemetry` — spans, counters & run traces for the fusion pipeline
+//!
+//! Dong et al. justify every scaling decision in §6 by knowing where the
+//! time and bytes go per MapReduce stage. This crate is the
+//! reproduction's measurement substrate: a hand-rolled (zero external
+//! dependencies) tracing/metrics layer that the engine, the fuser, the
+//! evaluator, and the persistence layer all emit into.
+//!
+//! Three pieces:
+//!
+//! * [`Trace`] — a run-scoped registry: a tree of timed spans (opened
+//!   via RAII [`SpanGuard`]s, aggregated by name so a thousand waves
+//!   make one compact `wave` node), thread-safe atomic counters with
+//!   explicit [`MergeRule`]s, and named numeric series.
+//! * a thread-local installation ([`install`]) with free functions
+//!   ([`span`], [`add`], [`record_max`], [`push_series`]) that are
+//!   no-ops when no trace is installed — so library code instruments
+//!   unconditionally and pays nothing in untraced runs.
+//! * [`TraceReport`] — the frozen snapshot: mergeable across shard runs
+//!   under documented rules, splittable into a *deterministic* section
+//!   (calls, counters, series — byte-identical across same-seed runs)
+//!   and a quarantined *timing* section
+//!   ([`TraceReport::quarantine_timings`]), and `KvCodec`-encodable so
+//!   traces ride inside shard reports.
+//!
+//! ```
+//! use kf_telemetry::{install, span, add, Trace};
+//!
+//! let trace = Trace::new();
+//! {
+//!     let _t = install(&trace);
+//!     let _fuse = span("fuse");
+//!     {
+//!         let _round = span("round");
+//!         add("fuse.rounds", 1);
+//!     }
+//! }
+//! let report = trace.snapshot();
+//! let fuse = report.root.child("fuse").unwrap();
+//! assert_eq!(fuse.calls, 1);
+//! assert_eq!(fuse.child("round").unwrap().calls, 1);
+//! assert_eq!(report.counters[0].value, 1);
+//! ```
+
+mod report;
+mod runtime;
+
+pub use report::{
+    fmt_ns, CounterSnapshot, MergeRule, SeriesSnapshot, SpanNode, TraceReport, MAX_SPAN_DEPTH,
+};
+pub use runtime::{
+    add, current, install, push_series, record_max, span, ActiveSpan, CounterHandle, InstallGuard,
+    SpanGuard, Trace,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_types::KvCodec;
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let t = Trace::new();
+        for _ in 0..3 {
+            let _wave = t.span("wave");
+            let _map = t.span("map");
+        }
+        {
+            let _wave = t.span("wave");
+        }
+        let report = t.snapshot();
+        assert_eq!(report.root.children.len(), 1, "same-name spans aggregate");
+        let wave = report.root.child("wave").unwrap();
+        assert_eq!(wave.calls, 4);
+        let map = wave.child("map").unwrap();
+        assert_eq!(map.calls, 3, "map nested under wave, not under root");
+        assert!(report.root.child("map").is_none());
+    }
+
+    #[test]
+    fn sibling_spans_stay_siblings() {
+        let t = Trace::new();
+        {
+            let _a = t.span("stage1");
+        }
+        {
+            let _b = t.span("stage2");
+        }
+        let report = t.snapshot();
+        let names: Vec<&str> = report
+            .root
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, ["stage1", "stage2"]);
+    }
+
+    #[test]
+    fn panicking_scope_still_closes_its_span() {
+        let t = Trace::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = t.span("outer");
+            let _inner = t.span("inner");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // Both spans closed during unwinding: a new span opens under the
+        // root again, not under a dangling `inner`.
+        {
+            let _after = t.span("after");
+        }
+        let report = t.snapshot();
+        let outer = report.root.child("outer").unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.child("inner").unwrap().calls, 1);
+        assert_eq!(report.root.child("after").unwrap().calls, 1);
+        assert!(outer.child("after").is_none());
+    }
+
+    #[test]
+    fn install_shadows_and_restores() {
+        let outer = Trace::new();
+        let inner = Trace::new();
+        assert!(current().is_none());
+        {
+            let _o = install(&outer);
+            add("hits", 1);
+            {
+                let _i = install(&inner);
+                add("hits", 10);
+            }
+            add("hits", 1);
+        }
+        assert!(current().is_none());
+        add("hits", 100); // no-op: nothing installed
+        assert_eq!(outer.snapshot().counters[0].value, 2);
+        assert_eq!(inner.snapshot().counters[0].value, 10);
+    }
+
+    #[test]
+    fn counters_are_thread_safe_and_rules_stick() {
+        let t = Trace::new();
+        let adder = t.counter("n", MergeRule::Add);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = adder.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.add(1);
+                    }
+                });
+            }
+        });
+        t.record_max("peak", 7);
+        t.record_max("peak", 3);
+        let report = t.snapshot();
+        let n = report.counters.iter().find(|c| c.name == "n").unwrap();
+        assert_eq!((n.value, n.rule), (4000, MergeRule::Add));
+        let peak = report.counters.iter().find(|c| c.name == "peak").unwrap();
+        assert_eq!((peak.value, peak.rule), (7, MergeRule::Max));
+    }
+
+    #[test]
+    fn merge_follows_documented_rules() {
+        let t1 = Trace::new();
+        {
+            let _s = t1.span("fuse");
+        }
+        t1.add("mr.map_output", 10);
+        t1.record_max("mr.peak", 5);
+        t1.push_series("delta", 0.5);
+        let t2 = Trace::new();
+        {
+            let _s = t2.span("fuse");
+            let _r = t2.span("round");
+        }
+        t2.add("mr.map_output", 7);
+        t2.record_max("mr.peak", 9);
+        t2.push_series("delta", 0.25);
+
+        let mut merged = t1.snapshot();
+        merged.merge(&t2.snapshot());
+        assert_eq!(merged.root.calls, 2);
+        let fuse = merged.root.child("fuse").unwrap();
+        assert_eq!(fuse.calls, 2);
+        assert_eq!(fuse.child("round").unwrap().calls, 1);
+        let get = |name: &str| {
+            merged
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap()
+                .value
+        };
+        assert_eq!(get("mr.map_output"), 17, "Add counters sum");
+        assert_eq!(get("mr.peak"), 9, "Max counters take the maximum");
+        assert_eq!(
+            merged.series[0].values,
+            [0.5, 0.25],
+            "series concatenate in merge order"
+        );
+    }
+
+    #[test]
+    fn absorb_grafts_method_trace_under_named_child() {
+        let method = Trace::new();
+        {
+            let _f = method.span("fuse");
+        }
+        method.add("fuse.rounds", 3);
+        let mut run = TraceReport::empty("run");
+        run.absorb("vote", &method.snapshot());
+        run.absorb("vote", &method.snapshot());
+        let vote = run.root.child("vote").unwrap();
+        assert_eq!(vote.calls, 2);
+        assert_eq!(vote.child("fuse").unwrap().calls, 2);
+        assert_eq!(run.counters[0].value, 6);
+    }
+
+    #[test]
+    fn quarantine_zeroes_timings_only() {
+        let t = Trace::new();
+        {
+            let _s = t.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        t.add("bytes", 42);
+        t.push_series("delta", 0.125);
+        let mut report = t.snapshot();
+        assert!(report.root.total_ns > 0);
+        let before = report.clone();
+        report.quarantine_timings();
+        assert_eq!(report.root.total_ns, 0);
+        assert_eq!(report.root.child("work").unwrap().total_ns, 0);
+        assert_eq!(
+            report.root.child("work").unwrap().calls,
+            before.root.child("work").unwrap().calls
+        );
+        assert_eq!(report.counters, before.counters);
+        assert_eq!(report.series, before.series);
+    }
+
+    #[test]
+    fn codec_roundtrips_exactly() {
+        let t = Trace::new();
+        {
+            let _a = t.span("fuse");
+            let _b = t.span("round");
+        }
+        t.add("mr.map_output", 123);
+        t.record_max("mr.peak", 99);
+        t.push_series("fuse.round_delta", 0.0625);
+        let report = t.snapshot();
+        let mut buf = Vec::new();
+        report.encode(&mut buf);
+        let mut input = &buf[..];
+        let back = TraceReport::decode(&mut input).unwrap();
+        assert!(
+            input.is_empty(),
+            "decode consumed exactly what encode wrote"
+        );
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn codec_rejects_overdeep_and_oversized_trees() {
+        // A chain deeper than MAX_SPAN_DEPTH must be rejected, not
+        // recursed into.
+        let mut node = SpanNode::leaf("deep");
+        for _ in 0..(MAX_SPAN_DEPTH + 2) {
+            let mut parent = SpanNode::leaf("deep");
+            parent.children.push(node);
+            node = parent;
+        }
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        assert!(SpanNode::decode(&mut &buf[..]).is_none());
+
+        // A huge child-count prefix with no bytes behind it must fail
+        // fast instead of allocating.
+        let mut buf = Vec::new();
+        String::from("x").encode(&mut buf);
+        0u64.encode(&mut buf);
+        0u64.encode(&mut buf);
+        u64::MAX.encode(&mut buf);
+        assert!(SpanNode::decode(&mut &buf[..]).is_none());
+    }
+
+    #[test]
+    fn flat_timings_walk_preorder_paths() {
+        let t = Trace::with_root("run");
+        {
+            let _f = t.span("fuse");
+            let _r = t.span("round");
+        }
+        let paths: Vec<String> = t
+            .snapshot()
+            .flat_timings()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(paths, ["run", "run/fuse", "run/fuse/round"]);
+    }
+}

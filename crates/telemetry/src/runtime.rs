@@ -1,0 +1,367 @@
+//! The recording side: [`Trace`], span guards, counters, and the
+//! thread-local installation that lets library code emit telemetry
+//! without threading a handle through every signature.
+//!
+//! # Threading model
+//!
+//! A [`Trace`] is a cheap clone-able handle (`Arc` inside). Counters and
+//! series are thread-safe: any thread holding a handle (or a
+//! [`CounterHandle`]) may add to them concurrently. The *span stack* is
+//! structural state — it assumes one coordinating thread opens and
+//! closes spans in LIFO order, which is exactly how the fusion pipeline
+//! runs (worker threads do the flat work; the coordinator owns phase
+//! structure). A span guard dropped out of order records its timing but
+//! only unwinds the stack down to its own frame.
+
+use crate::report::{CounterSnapshot, MergeRule, SeriesSnapshot, SpanNode, TraceReport};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Lock a mutex, recovering the inner data if a previous holder
+/// panicked. Telemetry must stay usable during unwinding — a poisoned
+/// span arena is still structurally sound because every mutation is a
+/// single field update.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One node of the live span arena. Same-name children aggregate: a
+/// thousand waves produce one `wave` node with `calls == 1000`, keeping
+/// traces compact and the deterministic section stable.
+struct ArenaNode {
+    name: &'static str,
+    calls: u64,
+    total_ns: u64,
+    children: Vec<usize>,
+}
+
+struct SpanArena {
+    /// Node 0 is the root; it is closed only by [`Trace::snapshot`].
+    nodes: Vec<ArenaNode>,
+    /// Indices of currently-open spans, root first. Indices are unique
+    /// (a child is never its own ancestor), so closing by position is
+    /// unambiguous.
+    stack: Vec<usize>,
+}
+
+struct CounterCell {
+    value: AtomicU64,
+    rule: MergeRule,
+}
+
+struct Inner {
+    started: Instant,
+    root_name: &'static str,
+    spans: Mutex<SpanArena>,
+    counters: Mutex<BTreeMap<&'static str, Arc<CounterCell>>>,
+    series: Mutex<BTreeMap<&'static str, Vec<f64>>>,
+}
+
+/// A run-scoped telemetry registry: a tree of timed spans, a set of
+/// merge-ruled counters, and named numeric series.
+///
+/// Clone freely — all clones share one registry. Snapshot at any time
+/// with [`Trace::snapshot`]; recording may continue afterwards.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<Inner>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// A fresh trace whose root span is named `run`.
+    pub fn new() -> Trace {
+        Trace::with_root("run")
+    }
+
+    /// A fresh trace with an explicit root-span name.
+    pub fn with_root(root_name: &'static str) -> Trace {
+        Trace {
+            inner: Arc::new(Inner {
+                started: Instant::now(),
+                root_name,
+                spans: Mutex::new(SpanArena {
+                    nodes: vec![ArenaNode {
+                        name: root_name,
+                        calls: 0,
+                        total_ns: 0,
+                        children: Vec::new(),
+                    }],
+                    stack: vec![0],
+                }),
+                counters: Mutex::new(BTreeMap::new()),
+                series: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Open a span as a child of the innermost open span. The returned
+    /// guard closes it (recording elapsed time and one call) on drop —
+    /// including during a panic, so a panicking scope never leaves the
+    /// stack dangling.
+    #[must_use = "a span measures the lifetime of this guard; bind it with `let _span = ...`"]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let node = {
+            let mut arena = lock_unpoisoned(&self.inner.spans);
+            let parent = *arena.stack.last().expect("root frame is never popped");
+            let existing = arena.nodes[parent]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| arena.nodes[c].name == name);
+            let node = existing.unwrap_or_else(|| {
+                let idx = arena.nodes.len();
+                arena.nodes.push(ArenaNode {
+                    name,
+                    calls: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                arena.nodes[parent].children.push(idx);
+                idx
+            });
+            arena.stack.push(node);
+            node
+        };
+        SpanGuard {
+            trace: self.clone(),
+            node,
+            started: Instant::now(),
+        }
+    }
+
+    /// A thread-safe handle to the named counter, registering it with
+    /// `rule` on first use. A counter's merge rule is fixed by its first
+    /// registration; later calls reuse the existing cell regardless of
+    /// the rule they pass.
+    pub fn counter(&self, name: &'static str, rule: MergeRule) -> CounterHandle {
+        let cell = lock_unpoisoned(&self.inner.counters)
+            .entry(name)
+            .or_insert_with(|| {
+                Arc::new(CounterCell {
+                    value: AtomicU64::new(0),
+                    rule,
+                })
+            })
+            .clone();
+        CounterHandle { cell }
+    }
+
+    /// Add `delta` to the named [`MergeRule::Add`] counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        self.counter(name, MergeRule::Add).add(delta);
+    }
+
+    /// Raise the named [`MergeRule::Max`] counter to at least `value`.
+    pub fn record_max(&self, name: &'static str, value: u64) {
+        self.counter(name, MergeRule::Max).record_max(value);
+    }
+
+    /// Append `value` to the named series (e.g. per-round convergence
+    /// deltas). Series values are data, not timings: they survive
+    /// [`TraceReport::quarantine_timings`].
+    pub fn push_series(&self, name: &'static str, value: f64) {
+        lock_unpoisoned(&self.inner.series)
+            .entry(name)
+            .or_default()
+            .push(value);
+    }
+
+    /// Freeze the current state into a [`TraceReport`]. Open spans
+    /// contribute the calls and time of their already-closed invocations;
+    /// the root reports one call spanning the trace's lifetime so far.
+    pub fn snapshot(&self) -> TraceReport {
+        let root = {
+            let arena = lock_unpoisoned(&self.inner.spans);
+            let mut root = build_node(&arena.nodes, 0);
+            root.calls = 1;
+            root.total_ns = self.inner.started.elapsed().as_nanos() as u64;
+            root
+        };
+        let counters = lock_unpoisoned(&self.inner.counters)
+            .iter()
+            .map(|(&name, cell)| CounterSnapshot {
+                name: name.to_owned(),
+                value: cell.value.load(Ordering::Relaxed),
+                rule: cell.rule,
+            })
+            .collect();
+        let series = lock_unpoisoned(&self.inner.series)
+            .iter()
+            .map(|(&name, values)| SeriesSnapshot {
+                name: name.to_owned(),
+                values: values.clone(),
+            })
+            .collect();
+        TraceReport {
+            root,
+            counters,
+            series,
+        }
+    }
+
+    /// The root-span name this trace was created with.
+    pub fn root_name(&self) -> &'static str {
+        self.inner.root_name
+    }
+}
+
+fn build_node(nodes: &[ArenaNode], idx: usize) -> SpanNode {
+    let n = &nodes[idx];
+    SpanNode {
+        name: n.name.to_owned(),
+        calls: n.calls,
+        total_ns: n.total_ns,
+        children: n.children.iter().map(|&c| build_node(nodes, c)).collect(),
+    }
+}
+
+/// Closes its span on drop, crediting elapsed wall-clock time and one
+/// call to the span's node. Drop order is the close order; a panic
+/// unwinding through the guard still closes the span.
+pub struct SpanGuard {
+    trace: Trace,
+    node: usize,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed().as_nanos() as u64;
+        let mut arena = lock_unpoisoned(&self.trace.inner.spans);
+        let node = &mut arena.nodes[self.node];
+        node.calls += 1;
+        node.total_ns += elapsed;
+        if let Some(pos) = arena.stack.iter().rposition(|&i| i == self.node) {
+            arena.stack.truncate(pos);
+        }
+    }
+}
+
+/// A lock-free handle to one counter cell; clone and hand to worker
+/// threads for hot-loop increments.
+#[derive(Clone)]
+pub struct CounterHandle {
+    cell: Arc<CounterCell>,
+}
+
+impl CounterHandle {
+    /// Add `delta` (saturating at `u64::MAX` only in theory; counters
+    /// count records and bytes, which fit comfortably).
+    pub fn add(&self, delta: u64) {
+        self.cell.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the counter to at least `value`.
+    pub fn record_max(&self, value: u64) {
+        self.cell.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// Installed traces, innermost last. A stack (not a slot) so a
+    /// method-scoped trace can shadow a run-scoped one and restore it on
+    /// drop.
+    static INSTALLED: RefCell<Vec<Trace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Make `trace` the calling thread's current trace until the returned
+/// guard drops. Installs nest: the innermost install wins, and dropping
+/// it restores the previous trace.
+#[must_use = "the trace is uninstalled when this guard drops; bind it with `let _t = ...`"]
+pub fn install(trace: &Trace) -> InstallGuard {
+    let depth = INSTALLED.with(|slot| {
+        let mut stack = slot.borrow_mut();
+        stack.push(trace.clone());
+        stack.len()
+    });
+    InstallGuard {
+        depth,
+        _not_send: PhantomData,
+    }
+}
+
+/// Uninstalls its trace on drop, restoring whatever was installed
+/// before. Guards are thread-local and expected to drop in LIFO order;
+/// an out-of-order drop truncates down to its own frame.
+pub struct InstallGuard {
+    depth: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let depth = self.depth;
+        INSTALLED.with(|slot| {
+            let mut stack = slot.borrow_mut();
+            if stack.len() >= depth {
+                stack.truncate(depth - 1);
+            }
+        });
+    }
+}
+
+/// The calling thread's innermost installed trace, if any.
+pub fn current() -> Option<Trace> {
+    INSTALLED.with(|slot| slot.borrow().last().cloned())
+}
+
+/// Open a span on the current thread's installed trace. A no-op (still
+/// returning a guard to bind) when no trace is installed, so library
+/// code can instrument unconditionally.
+#[must_use = "a span measures the lifetime of this guard; bind it with `let _span = ...`"]
+pub fn span(name: &'static str) -> ActiveSpan {
+    ActiveSpan {
+        guard: current().map(|t| t.span(name)),
+    }
+}
+
+/// The guard returned by the free [`span`] function: a real span guard
+/// when a trace is installed, a no-op otherwise.
+pub struct ActiveSpan {
+    guard: Option<SpanGuard>,
+}
+
+impl ActiveSpan {
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.guard.is_some()
+    }
+}
+
+/// Add `delta` to a [`MergeRule::Add`] counter on the installed trace;
+/// no-op without one.
+pub fn add(name: &'static str, delta: u64) {
+    if let Some(t) = current() {
+        t.add(name, delta);
+    }
+}
+
+/// Raise a [`MergeRule::Max`] counter on the installed trace; no-op
+/// without one.
+pub fn record_max(name: &'static str, value: u64) {
+    if let Some(t) = current() {
+        t.record_max(name, value);
+    }
+}
+
+/// Append to a series on the installed trace; no-op without one.
+pub fn push_series(name: &'static str, value: f64) {
+    if let Some(t) = current() {
+        t.push_series(name, value);
+    }
+}

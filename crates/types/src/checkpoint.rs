@@ -46,8 +46,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const MAGIC: [u8; 4] = *b"KFCP";
 
 /// Version of the payload encodings. Bump on any incompatible change to
-/// a `KvCodec` impl reachable from a checkpointed artifact.
-pub const FORMAT_VERSION: u16 = 1;
+/// a `KvCodec` impl reachable from a checkpointed artifact. Version 2:
+/// `MethodEval` gained a trailing optional `kf-telemetry` trace.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// What a checkpoint file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

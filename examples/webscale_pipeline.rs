@@ -99,6 +99,10 @@ fn main() {
         spilled.stats.spilled_bytes > 0,
         "spill threshold {spill_threshold} never triggered — raise the corpus or lower it"
     );
+    assert!(
+        spilled.stats.spill_runs > 0,
+        "spilled bytes without spill runs — run accounting is broken"
+    );
     // The engine invariant: grouped residency never exceeds the threshold
     // OR the largest single wave, whichever is bigger — a wave can
     // overshoot only because a single input's emissions never split, and
@@ -121,6 +125,11 @@ fn main() {
         full.stats.peak_grouped_records as f64 / spilled.stats.peak_grouped_records.max(1) as f64,
         spilled.stats.spilled_bytes as f64 / (1024.0 * 1024.0),
         spill_secs,
+    );
+    println!(
+        "  spill accounting: {} sorted run files written, {} combiner invocations \
+         folded duplicates before reduce",
+        spilled.stats.spill_runs, spilled.stats.combiner_invocations,
     );
 
     // Reducer-side sampling (the paper's L) barely moves the output while

@@ -13,6 +13,12 @@ Usage:
 
 Only rows whose id starts with one of the --filter prefixes are kept
 (all rows when no filter is given). Units normalise to nanoseconds.
+
+--trace TRACE.json additionally folds a `repro --trace` artifact's flat
+timing section into the rows: one row per span path, id `trace/<path>`,
+with min == mean == max == the span's total nanoseconds (a trace is one
+observation, not a sampled distribution). Trace rows bypass --filter —
+asking for them is the filter.
 """
 
 import argparse
@@ -32,9 +38,27 @@ def to_ns(value: str, unit: str) -> float:
     return float(value) * UNIT_NS[unit]
 
 
+def trace_rows(path: str) -> list:
+    """Rows from the `timings` section of a `repro --trace` artifact."""
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+    rows = []
+    for entry in trace.get("run", {}).get("timings", []):
+        ns = float(entry["total_ns"])
+        rows.append(
+            {
+                "id": f"trace/{entry['path']}",
+                "min_ns": ns,
+                "mean_ns": ns,
+                "max_ns": ns,
+            }
+        )
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("logs", nargs="+", help="cargo bench output files")
+    parser.add_argument("logs", nargs="*", help="cargo bench output files")
     parser.add_argument("--pr", type=int, required=True, help="PR number for the header")
     parser.add_argument(
         "--filter",
@@ -42,7 +66,14 @@ def main() -> int:
         default=[],
         help="keep only rows whose id starts with one of these prefixes",
     )
+    parser.add_argument(
+        "--trace",
+        help="repro --trace artifact whose per-phase timings become trace/ rows",
+    )
     args = parser.parse_args()
+    if not args.logs and not args.trace:
+        print("nothing to convert: pass bench logs and/or --trace", file=sys.stderr)
+        return 2
 
     rows = []
     for path in args.logs:
@@ -62,6 +93,8 @@ def main() -> int:
                         "max_ns": to_ns(m.group("max"), m.group("max_u")),
                     }
                 )
+    if args.trace:
+        rows.extend(trace_rows(args.trace))
 
     if not rows:
         print("no bench rows matched", file=sys.stderr)

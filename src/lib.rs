@@ -13,6 +13,7 @@
 //! | [`synth`] | synthetic web-extraction corpus with the paper's statistical artifacts |
 //! | [`eval`] | calibration (WDEV/ECE), PR curves (AUC-PR, precision@k), ablation runner |
 //! | [`diagnose`] | Fig. 17 automated error taxonomy with per-extractor attribution |
+//! | [`telemetry`] | structured spans, counters & run traces across the pipeline |
 //!
 //! ## Quickstart
 //!
@@ -46,13 +47,14 @@
 //!
 //! Runnable walkthroughs live in `examples/`: `quickstart`,
 //! `calibration_study`, `custom_extractor`, `webscale_pipeline`,
-//! `error_taxonomy`, `checkpoint_shard`.
+//! `error_taxonomy`, `checkpoint_shard`, `trace_pipeline`.
 
 pub use kf_core as core;
 pub use kf_diagnose as diagnose;
 pub use kf_eval as eval;
 pub use kf_mapreduce as mapreduce;
 pub use kf_synth as synth;
+pub use kf_telemetry as telemetry;
 pub use kf_types as types;
 
 /// The names most programs need, in one import.
@@ -68,6 +70,7 @@ pub mod prelude {
     };
     pub use kf_mapreduce::MrConfig;
     pub use kf_synth::{Corpus, SynthConfig};
+    pub use kf_telemetry::{Trace, TraceReport};
     pub use kf_types::{
         DataItem, EntityId, ErrorCategory, Extraction, ExtractionBatch, ExtractorId, GoldStandard,
         Granularity, Label, PageId, PatternId, PredicateId, Provenance, SiteId, TaxonomyReport,
