@@ -1,0 +1,193 @@
+//! Sustained serving throughput and tail latency for [`kf_serve::KbReader`]
+//! under concurrent clients, at paper scale and 10× paper scale.
+//!
+//! This bench does not use the criterion shim: it needs *throughput* and
+//! *p99 latency* rows, not mean-iteration time. It prints rows in the
+//! same table shape the shim uses so `scripts/bench_json.py` can fold
+//! them (plus a `thrpt:` variant the script also understands):
+//!
+//! ```text
+//! serve/p99/paper/t4      time: [1.2 µs 1.4 µs 1.9 µs]  (5 windows)
+//! serve/qps/paper/t4      thrpt: [812345.0 q/s 823456.0 q/s 834567.0 q/s]  (5 windows)
+//! ```
+//!
+//! Methodology: per (scale, client-count) cell, `WINDOWS` measurement
+//! windows each issue a fixed total query budget split evenly across the
+//! clients, which hammer one shared `KbReader`. Every query's wall time
+//! is recorded into a preallocated buffer (no allocation inside the
+//! timed region); the window reports its pooled p99 and its overall
+//! queries/second. The row is min / mean / max across windows. One query
+//! = one read API call; clients cycle a lookup / belief / top-k /
+//! drill-down mix over strided rows. On a single-core machine the
+//! multi-client cells measure contention and scheduler fairness, not
+//! parallel speedup — the interesting signal is that p99 degrades
+//! gracefully and qps stays near the single-client number.
+//!
+//! A first non-flag CLI argument is a substring filter over row ids,
+//! mirroring the criterion shim; `paper/` skips the 10× cells.
+
+use kf_serve::{FusedKb, KbBuildOptions, KbReader};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::{DataItem, Triple};
+use std::time::Instant;
+
+const WINDOWS: usize = 5;
+/// Total queries per window, split across the window's clients.
+const WINDOW_QUERIES: u64 = 80_000;
+const CLIENTS: [usize; 3] = [1, 4, 16];
+
+/// One query = one read API call. Returns a value to fold into a sink
+/// so the optimiser cannot elide the read.
+fn query(reader: &KbReader, q: u64, n_rows: u32) -> u64 {
+    // Stride the row space so consecutive queries touch distant rows
+    // (defeats trivially perfect locality without being adversarial).
+    let row = ((q.wrapping_mul(0x9e37_79b9)) % n_rows as u64) as u32;
+    let v = reader.view(row);
+    let Triple {
+        subject, predicate, ..
+    } = v.triple;
+    match q % 4 {
+        0 => reader
+            .lookup(&v.triple)
+            .map_or(0, |t| t.calibrated.to_bits()),
+        1 => reader
+            .belief(DataItem { subject, predicate })
+            .map_or(0, |b| b.best().raw.to_bits()),
+        2 => reader.top_k(predicate, 8).map_or(0, |t| t.len() as u64),
+        _ => reader.drilldown(&v.triple).map_or(0, |d| d.len() as u64),
+    }
+}
+
+struct Window {
+    p99_ns: f64,
+    qps: f64,
+}
+
+/// Run one measurement window: `clients` threads share the reader and
+/// the query budget; per-query latencies pool into one p99.
+fn run_window(reader: &KbReader, clients: usize, queries: u64) -> Window {
+    let n_rows = reader.kb().n_triples() as u32;
+    let per_client = queries / clients as u64;
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let reader = reader.clone();
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client as usize);
+                    let mut sink = 0u64;
+                    let base = c as u64 * per_client;
+                    for i in 0..per_client {
+                        let t = Instant::now();
+                        sink ^= query(&reader, base + i, n_rows);
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                    std::hint::black_box(sink);
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client joins"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1);
+    Window {
+        p99_ns: latencies[idx] as f64,
+        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn stats(values: impl Iterator<Item = f64>) -> (f64, f64, f64) {
+    let v: Vec<f64> = values.collect();
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    (min, mean, max)
+}
+
+fn bench_scale(label: &str, config: &SynthConfig, filter: Option<&str>) {
+    let ids: Vec<(usize, String, String)> = CLIENTS
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                format!("serve/p99/{label}/t{c}"),
+                format!("serve/qps/{label}/t{c}"),
+            )
+        })
+        .collect();
+    if let Some(f) = filter {
+        if !ids.iter().any(|(_, p, q)| p.contains(f) || q.contains(f)) {
+            return;
+        }
+    }
+
+    eprintln!("[serve bench] building {label} corpus + KB …");
+    let start = Instant::now();
+    let corpus = Corpus::generate(config, 42);
+    let kb = FusedKb::build_from_corpus(&corpus, &KbBuildOptions::default(), label)
+        .expect("KB builds from a generated corpus");
+    eprintln!(
+        "[serve bench] {label}: {} triples, {} items, {} provenances ({:.1}s build)",
+        kb.n_triples(),
+        kb.n_items(),
+        kb.n_provenances(),
+        start.elapsed().as_secs_f64(),
+    );
+    let reader = KbReader::new(kb);
+
+    for (clients, p99_id, qps_id) in ids {
+        if let Some(f) = filter {
+            if !p99_id.contains(f) && !qps_id.contains(f) {
+                continue;
+            }
+        }
+        // Warm-up window (faults pages in, primes the branch predictors).
+        run_window(&reader, clients, WINDOW_QUERIES / 4);
+        let windows: Vec<Window> = (0..WINDOWS)
+            .map(|_| run_window(&reader, clients, WINDOW_QUERIES))
+            .collect();
+        let (p_min, p_mean, p_max) = stats(windows.iter().map(|w| w.p99_ns));
+        let (q_min, q_mean, q_max) = stats(windows.iter().map(|w| w.qps));
+        println!(
+            "{p99_id:<40} time: [{} {} {}]  ({WINDOWS} windows)",
+            fmt_ns(p_min),
+            fmt_ns(p_mean),
+            fmt_ns(p_max),
+        );
+        println!(
+            "{qps_id:<40} thrpt: [{q_min:.1} q/s {q_mean:.1} q/s {q_max:.1} q/s]  ({WINDOWS} windows)",
+        );
+    }
+}
+
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let filter = filter.as_deref();
+
+    bench_scale("paper", &SynthConfig::paper(), filter);
+
+    // 10× paper: ten times the pages over ten times the sites, same
+    // per-site and per-page shape — the corpus the paper's Fig. 4 scale
+    // claims would meet after one more order of magnitude of crawl.
+    let mut paper10 = SynthConfig::paper();
+    paper10.web.n_pages *= 10;
+    paper10.web.n_sites *= 10;
+    bench_scale("paper10x", &paper10, filter);
+}

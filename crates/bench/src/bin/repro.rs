@@ -109,6 +109,24 @@ fn main() {
                 Err(e) => fail(&format!("failed to write {path}: {e}")),
             }
         }
+        // Merged report → fused KB, no second report decode pass: the
+        // in-memory report is compiled directly against the corpus
+        // snapshot the shards fused (parse guarantees --corpus is set).
+        if opts.build_kb.is_some() {
+            let path = opts.corpus.as_deref().expect("parse requires --corpus");
+            let corpus = kf_synth::Corpus::load(path)
+                .unwrap_or_else(|e| fail(&format!("failed to load corpus {path:?}: {e}")));
+            let kb = kf_bench::compile_kb(&opts, &report, &corpus).unwrap_or_else(|e| fail(&e));
+            println!(
+                "\nbuilt fused KB {} [{}]: {} triples, {} items, {} predicates, {} provenances",
+                opts.build_kb.as_deref().unwrap_or("?"),
+                kb.method,
+                kb.n_triples(),
+                kb.n_items(),
+                kb.n_predicates(),
+                kb.n_provenances(),
+            );
+        }
         let full = full_run_trace(&process, &report.methods, opts.deterministic);
         println!();
         print!("{}", full.summary());
@@ -193,6 +211,21 @@ fn main() {
     let report = kf_bench::run_on_corpus(&opts, &corpus);
     println!();
     print!("{}", report.summary_table());
+
+    // The corpus and report are both still in memory: the KB compiles
+    // straight from them, without a load/decode round-trip.
+    if opts.build_kb.is_some() {
+        let kb = kf_bench::compile_kb(&opts, &report, &corpus).unwrap_or_else(|e| fail(&e));
+        println!(
+            "\nbuilt fused KB {} [{}]: {} triples, {} items, {} predicates, {} provenances",
+            opts.build_kb.as_deref().unwrap_or("?"),
+            kb.method,
+            kb.n_triples(),
+            kb.n_items(),
+            kb.n_predicates(),
+            kb.n_provenances(),
+        );
+    }
 
     let full = full_run_trace(&process, &report.methods, opts.deterministic);
     println!();

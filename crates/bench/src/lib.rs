@@ -82,6 +82,14 @@ pub struct ReproOptions {
     /// Write the whole-run trace (span tree, counters, series) to this
     /// path as JSON (`--trace PATH`).
     pub trace: Option<String>,
+    /// Also compile the finished report into a servable `FusedKb`
+    /// checkpoint at this path (`--build-kb PATH`). Works for single
+    /// runs and for `--merge` (which then needs `--corpus`, since shard
+    /// reports carry no extractions).
+    pub build_kb: Option<String>,
+    /// Which preset's scores the KB serves (`--kb-method`, default
+    /// `popaccu_plus`). Must be among the presets the report contains.
+    pub kb_method: String,
 }
 
 impl Default for ReproOptions {
@@ -102,6 +110,8 @@ impl Default for ReproOptions {
             merge_inputs: Vec::new(),
             deterministic: false,
             trace: None,
+            build_kb: None,
+            kb_method: "popaccu_plus".to_string(),
         }
     }
 }
@@ -189,6 +199,14 @@ impl ReproOptions {
                 "--merge" => opts.merge = true,
                 "--deterministic" => opts.deterministic = true,
                 "--trace" => opts.trace = Some(value("--trace")?),
+                "--build-kb" => opts.build_kb = Some(value("--build-kb")?),
+                "--kb-method" => {
+                    let v = value("--kb-method")?;
+                    if Preset::by_name(&v).is_none() {
+                        return Err(invalid(format!("unknown --kb-method {v:?}")));
+                    }
+                    opts.kb_method = v;
+                }
                 "--help" | "-h" => return Err(ParseError::Help),
                 other if !other.starts_with('-') => {
                     opts.merge_inputs.push(other.to_string());
@@ -202,10 +220,28 @@ impl ReproOptions {
                     "--merge needs at least one shard-report path".to_string(),
                 ));
             }
-            if opts.shard.is_some() || opts.save_corpus.is_some() || opts.corpus.is_some() {
+            if opts.shard.is_some() || opts.save_corpus.is_some() {
                 return Err(invalid(
-                    "--merge cannot be combined with --shard/--save-corpus/--corpus".to_string(),
+                    "--merge cannot be combined with --shard/--save-corpus".to_string(),
                 ));
+            }
+            // Shard reports carry no extractions, so compiling a KB out
+            // of a merge needs the corpus snapshot the shards ran on;
+            // without --build-kb a corpus would be silently unused.
+            match (&opts.build_kb, &opts.corpus) {
+                (Some(_), None) => {
+                    return Err(invalid(
+                        "--merge --build-kb needs --corpus (the snapshot the shards \
+                         fused, to compile the KB from)"
+                            .to_string(),
+                    ))
+                }
+                (None, Some(_)) => {
+                    return Err(invalid(
+                        "--merge only accepts --corpus together with --build-kb".to_string(),
+                    ))
+                }
+                _ => {}
             }
         } else if !opts.merge_inputs.is_empty() {
             return Err(invalid(format!(
@@ -219,6 +255,33 @@ impl ReproOptions {
                  exits before fusing)"
                     .to_string(),
             ));
+        }
+        if opts.build_kb.is_some() {
+            if opts.shard.is_some() {
+                return Err(invalid(
+                    "--build-kb cannot be combined with --shard (a shard report is \
+                     partial; build the KB from the merged report instead)"
+                        .to_string(),
+                ));
+            }
+            if opts.save_corpus.is_some() {
+                return Err(invalid(
+                    "--build-kb cannot be combined with --save-corpus (the snapshot \
+                     subflow exits before fusing)"
+                        .to_string(),
+                ));
+            }
+            let method = Preset::by_name(&opts.kb_method)
+                .ok_or_else(|| invalid(format!("unknown --kb-method {:?}", opts.kb_method)))?;
+            // In merge mode the preset list describes this process, not
+            // the shard runs; membership is checked against the merged
+            // report at runtime instead.
+            if !opts.merge && !opts.presets.contains(&method) {
+                return Err(invalid(format!(
+                    "--kb-method {} is not among the presets this run fuses",
+                    opts.kb_method
+                )));
+            }
         }
         Ok(opts)
     }
@@ -260,6 +323,15 @@ checkpointing & sharding:
                                    and all trace timings) so single-
                                    process and merged sharded reports are
                                    byte-identical
+
+serving:
+  --build-kb PATH                  also compile the finished report into
+                                   a servable FusedKb checkpoint (query
+                                   it with kf-serve); with --merge this
+                                   needs --corpus, so sharded runs emit
+                                   a servable artifact in one pass
+  --kb-method NAME                 preset the KB serves (default:
+                                   popaccu_plus)
 ";
 
 /// The corpus configuration for a scale name.
@@ -327,6 +399,34 @@ pub fn merge_shards(paths: &[String]) -> Result<EvalReport, String> {
             .push(EvalReport::load(path).map_err(|e| format!("cannot load shard {path:?}: {e}"))?);
     }
     kf_eval::merge_reports(shards).map_err(|e| e.to_string())
+}
+
+/// Compile the `--build-kb` artifact from a finished report and the
+/// corpus it measured, and save it at `opts.build_kb`. Returns the
+/// serving KB for log lines.
+///
+/// Shared by the single-run and `--merge` subflows of `repro`, so a
+/// sharded reproduction emits a servable artifact directly from the
+/// in-memory merged report — no second load/decode pass over the
+/// artifacts it just wrote.
+pub fn compile_kb(
+    opts: &ReproOptions,
+    report: &EvalReport,
+    corpus: &Corpus,
+) -> Result<kf_serve::FusedKb, String> {
+    let path = opts
+        .build_kb
+        .as_ref()
+        .ok_or_else(|| "compile_kb called without --build-kb".to_string())?;
+    let kb_opts = kf_serve::KbBuildOptions {
+        method: opts.kb_method.clone(),
+        workers: opts.workers,
+    };
+    let kb = kf_serve::FusedKb::compile(report, corpus, &kb_opts)
+        .map_err(|e| format!("cannot compile KB: {e}"))?;
+    kb.save(path)
+        .map_err(|e| format!("cannot write KB {path:?}: {e}"))?;
+    Ok(kb)
 }
 
 /// End-to-end: generate, fuse each preset, evaluate, assemble the report.
@@ -541,6 +641,53 @@ mod tests {
         // Snapshot mode exits before fusing, so a shard request with it
         // is a contradiction, not a silent no-op.
         assert!(ReproOptions::parse(["--save-corpus", "c.kfc", "--shard", "0/2"]).is_err());
+    }
+
+    #[test]
+    fn parse_build_kb_flags() {
+        let opts = ReproOptions::parse(["--build-kb", "out.kb"]).unwrap();
+        assert_eq!(opts.build_kb.as_deref(), Some("out.kb"));
+        assert_eq!(opts.kb_method, "popaccu_plus");
+
+        let opts = ReproOptions::parse(["--build-kb", "out.kb", "--kb-method", "vote"]).unwrap();
+        assert_eq!(opts.kb_method, "vote");
+
+        // Merge mode emits the KB straight from the merged report, but
+        // needs the corpus snapshot the shards fused.
+        let opts = ReproOptions::parse([
+            "--merge",
+            "a.bin",
+            "b.bin",
+            "--build-kb",
+            "out.kb",
+            "--corpus",
+            "c.kfc",
+        ])
+        .unwrap();
+        assert!(opts.merge);
+        assert_eq!(opts.build_kb.as_deref(), Some("out.kb"));
+        assert_eq!(opts.corpus.as_deref(), Some("c.kfc"));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_build_kb_combos() {
+        // Unknown or un-run serving method.
+        assert!(ReproOptions::parse(["--build-kb", "o.kb", "--kb-method", "nope"]).is_err());
+        assert!(ReproOptions::parse([
+            "--build-kb",
+            "o.kb",
+            "--presets",
+            "vote",
+            "--kb-method",
+            "accu"
+        ])
+        .is_err());
+        // A shard report is partial; the snapshot subflow never fuses.
+        assert!(ReproOptions::parse(["--build-kb", "o.kb", "--shard", "0/2"]).is_err());
+        assert!(ReproOptions::parse(["--build-kb", "o.kb", "--save-corpus", "c.kfc"]).is_err());
+        // Merge + KB without the corpus, and merge + corpus without a KB.
+        assert!(ReproOptions::parse(["--merge", "a.bin", "--build-kb", "o.kb"]).is_err());
+        assert!(ReproOptions::parse(["--merge", "a.bin", "--corpus", "c.kfc"]).is_err());
     }
 
     #[test]

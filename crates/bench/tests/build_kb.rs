@@ -1,0 +1,85 @@
+//! End-to-end acceptance for `repro --build-kb`: the same fused KB comes
+//! out of the single-process subflow and the merge subflow (shards +
+//! merged report + corpus snapshot), byte-identical, and it answers
+//! queries through [`kf_serve::KbReader`]. CI exercises the same flow
+//! through the actual binary on the default corpus; this pins it at
+//! library level on a tiny corpus.
+
+use kf_bench::{compile_kb, merge_shards, run_on_corpus, shard_presets, ReproOptions};
+use kf_eval::Preset;
+use kf_serve::{FusedKb, KbReader};
+use kf_synth::{Corpus, SynthConfig};
+use std::path::PathBuf;
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kf-bench-kb-{}-{name}", std::process::id()))
+}
+
+fn options() -> ReproOptions {
+    ReproOptions {
+        scale: "tiny".into(),
+        seed: 13,
+        out: None,
+        deterministic: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn single_run_and_merge_run_build_identical_kbs() {
+    let corpus = Corpus::generate(&SynthConfig::tiny(), 13);
+
+    // --- Single-process subflow: in-memory report + corpus → KB. --------
+    let mut opts = options();
+    opts.build_kb = Some(tmp_path("single.kb").to_string_lossy().into_owned());
+    let report = run_on_corpus(&opts, &corpus);
+    let single = compile_kb(&opts, &report, &corpus).expect("single-run KB compiles");
+    assert!(single.n_triples() > 0);
+
+    // --- Merge subflow: shards → merged report → the same KB. -----------
+    let mut shard_files = Vec::new();
+    for index in 0..2 {
+        let mut shard_opts = options();
+        shard_opts.presets = shard_presets(&Preset::ALL, index, 2);
+        let shard_report = run_on_corpus(&shard_opts, &corpus);
+        let path = tmp_path(&format!("shard{index}.bin"));
+        shard_report.save(&path).unwrap();
+        shard_files.push(path.to_string_lossy().into_owned());
+    }
+    let merged = merge_shards(&shard_files).expect("shards merge");
+    let mut merge_opts = options();
+    merge_opts.build_kb = Some(tmp_path("merged.kb").to_string_lossy().into_owned());
+    let from_merge = compile_kb(&merge_opts, &merged, &corpus).expect("merge-run KB compiles");
+
+    assert_eq!(single, from_merge, "merge path must rebuild the same KB");
+    let single_bytes = std::fs::read(opts.build_kb.as_deref().unwrap()).unwrap();
+    let merged_bytes = std::fs::read(merge_opts.build_kb.as_deref().unwrap()).unwrap();
+    assert_eq!(single_bytes, merged_bytes, "saved artifacts byte-identical");
+
+    // --- And the saved artifact serves. ---------------------------------
+    let reader = KbReader::open(opts.build_kb.as_deref().unwrap()).expect("KB opens");
+    assert_eq!(reader.kb().n_triples(), single.n_triples());
+    let v = reader.view(0);
+    assert_eq!(reader.lookup(&v.triple), Some(v));
+
+    for path in shard_files.iter().map(PathBuf::from).chain([
+        opts.build_kb.unwrap().into(),
+        merge_opts.build_kb.unwrap().into(),
+    ]) {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn compile_kb_respects_kb_method() {
+    let corpus = Corpus::generate(&SynthConfig::tiny(), 13);
+    let mut opts = options();
+    opts.kb_method = "vote".into();
+    opts.build_kb = Some(tmp_path("vote.kb").to_string_lossy().into_owned());
+    let report = run_on_corpus(&opts, &corpus);
+    let kb = compile_kb(&opts, &report, &corpus).expect("vote KB compiles");
+    assert_eq!(kb.method, "vote");
+    let loaded = FusedKb::load(opts.build_kb.as_deref().unwrap()).unwrap();
+    assert_eq!(loaded, kb);
+    std::fs::remove_file(opts.build_kb.unwrap()).ok();
+}

@@ -1,0 +1,173 @@
+//! `kf-serve` — build and query fused knowledge bases.
+//!
+//! ```text
+//! kf-serve build --corpus PATH --out KB [--report PATH] [--method NAME]
+//!                [--workers N] [--scale LABEL]
+//! kf-serve query KB [--cmd 'LINE']...
+//! kf-serve stats KB
+//! ```
+//!
+//! `build` compiles a [`FusedKb`] from a corpus snapshot — against an
+//! existing evaluation report when `--report` is given (refusing a
+//! mismatched pair), or by fusing and evaluating in-process otherwise.
+//! `query` opens a REPL (or runs `--cmd` lines non-interactively);
+//! `stats` prints the KB header and exits.
+
+use kf_eval::EvalReport;
+use kf_serve::repl::{eval_command, run_repl, ReplOutput};
+use kf_serve::{FusedKb, KbBuildOptions, KbReader};
+use kf_synth::Corpus;
+use std::io::IsTerminal;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  kf-serve build --corpus PATH --out KB [--report PATH] [--method NAME]
+                 [--workers N] [--scale LABEL]
+  kf-serve query KB [--cmd 'LINE']...
+  kf-serve stats KB";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("kf-serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown subcommand `{other}`")),
+        None => fail("missing subcommand"),
+    }
+}
+
+fn build(args: &[String]) -> ExitCode {
+    let mut corpus_path = None;
+    let mut report_path = None;
+    let mut out_path = None;
+    let mut opts = KbBuildOptions::default();
+    let mut scale = "snapshot".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--corpus" => value("--corpus").map(|v| corpus_path = Some(v)),
+            "--report" => value("--report").map(|v| report_path = Some(v)),
+            "--out" => value("--out").map(|v| out_path = Some(v)),
+            "--method" => value("--method").map(|v| opts.method = v),
+            "--scale" => value("--scale").map(|v| scale = v),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|w| opts.workers = Some(w))
+                    .map_err(|_| format!("bad --workers `{v}`"))
+            }),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = result {
+            return fail(&e);
+        }
+    }
+    let (Some(corpus_path), Some(out_path)) = (corpus_path, out_path) else {
+        return fail("build needs --corpus and --out");
+    };
+
+    let corpus = match Corpus::load(&corpus_path) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("loading corpus {corpus_path}: {e}")),
+    };
+    let kb = match &report_path {
+        Some(path) => match EvalReport::load(path) {
+            Ok(report) => FusedKb::compile(&report, &corpus, &opts),
+            Err(e) => return fail(&format!("loading report {path}: {e}")),
+        },
+        None => FusedKb::build_from_corpus(&corpus, &opts, &scale),
+    };
+    let kb = match kb {
+        Ok(kb) => kb,
+        Err(e) => return fail(&format!("compiling KB: {e}")),
+    };
+    if let Err(e) = kb.save(&out_path) {
+        return fail(&format!("writing {out_path}: {e}"));
+    }
+    println!(
+        "wrote {out_path}: {} triples, {} items, {} predicates, {} provenances ({})",
+        kb.n_triples(),
+        kb.n_items(),
+        kb.n_predicates(),
+        kb.n_provenances(),
+        kb.method
+    );
+    ExitCode::SUCCESS
+}
+
+fn open(path: &str) -> Result<KbReader, String> {
+    KbReader::open(path).map_err(|e| format!("loading KB {path}: {e}"))
+}
+
+fn query(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("query needs a KB path");
+    };
+    let mut cmds = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        if arg != "--cmd" {
+            return fail(&format!("unknown flag `{arg}`"));
+        }
+        match it.next() {
+            Some(line) => cmds.push(line.clone()),
+            None => return fail("--cmd needs a value"),
+        }
+    }
+    let reader = match open(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if !cmds.is_empty() {
+        for line in &cmds {
+            match eval_command(&reader, line) {
+                Ok(ReplOutput::Text(text)) => println!("{text}"),
+                Ok(ReplOutput::Empty) => {}
+                Ok(ReplOutput::Quit) => break,
+                Err(e) => {
+                    eprintln!("kf-serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    match run_repl(&reader, stdin.lock(), std::io::stdout(), interactive) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("repl I/O: {e}")),
+    }
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail("stats needs exactly a KB path");
+    };
+    let reader = match open(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    match eval_command(&reader, "stats") {
+        Ok(ReplOutput::Text(text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("stats always renders"),
+    }
+}

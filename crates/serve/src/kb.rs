@@ -1,0 +1,795 @@
+//! The `FusedKb` artifact: a fused run compiled into read-only columnar
+//! indexes.
+//!
+//! A fusion run produces a [`FusionOutput`] (scored triples) and an
+//! [`EvalReport`] (calibration curves, PR curves). Neither is shaped for
+//! *queries*: answering "what does the KB believe about `(subject,
+//! predicate)`?" or "the 10 most confident triples for predicate P" from
+//! the batch artifacts means a full scan. [`FusedKb`] is the serving
+//! shape: one flat arena of columns sorted in canonical triple order,
+//! plus three indexes built at compile time —
+//!
+//! * **item index** — contiguous runs of `(subject, predicate)` over the
+//!   triple columns, binary-searchable, so a belief-distribution lookup
+//!   is two `partition_point`s and a slice;
+//! * **predicate index** — a per-predicate permutation of triple rows
+//!   ordered by calibrated confidence (descending, ties broken by
+//!   canonical triple order), so top-k is a slice of precomputed ranks;
+//! * **provenance registry** — the [`ProvenanceAttribution`] columns
+//!   (packed keys, final learned accuracies, evaluated flags) plus
+//!   per-triple provenance id lists, so drill-down walks an offset range.
+//!
+//! Confidences are stored twice: the fuser's raw probability and the
+//! *calibrated* probability read off the report's equal-width calibration
+//! curve (the bin's observed accuracy where the bin has mass — §5.2's
+//! "among triples predicted with probability ~p, a fraction ~p is true"
+//! made actionable per triple).
+//!
+//! Everything is columnar `Vec`s of plain data: loading a KB is one
+//! checkpoint decode into one arena that [`KbReader`](crate::KbReader)s
+//! then share across threads without copying.
+
+use kf_core::{Fuser, FusionOutput, ProvenanceAttribution};
+use kf_eval::{AblationRunner, CalibrationCurve, CorpusSummary, EvalReport, MethodEval, Preset};
+use kf_synth::Corpus;
+use kf_telemetry::{add, span};
+use kf_types::checkpoint::{self, ArtifactKind, CheckpointError};
+use kf_types::codec::{decode_column, encode_column};
+use kf_types::{EntityId, GoldStandard, KvCodec, Label, Numeric, StrId, Triple, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Options for compiling a [`FusedKb`] from a report + corpus.
+#[derive(Debug, Clone)]
+pub struct KbBuildOptions {
+    /// Preset whose scores the KB serves (must appear in the report).
+    pub method: String,
+    /// Worker override for the compile-time fusion re-run (`None` keeps
+    /// the preset's default).
+    pub workers: Option<usize>,
+}
+
+impl Default for KbBuildOptions {
+    fn default() -> Self {
+        KbBuildOptions {
+            method: "popaccu_plus".to_string(),
+            workers: None,
+        }
+    }
+}
+
+/// Why a KB compile was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The requested method is not a known preset.
+    UnknownMethod(String),
+    /// The report does not contain an evaluation for the method.
+    MethodNotInReport(String),
+    /// The report was produced from a different corpus than the one
+    /// supplied (seed or record count disagree).
+    CorpusMismatch {
+        /// Seed recorded in the report header.
+        report_seed: u64,
+        /// Seed of the supplied corpus snapshot.
+        corpus_seed: u64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownMethod(m) => write!(f, "unknown fusion method `{m}`"),
+            BuildError::MethodNotInReport(m) => {
+                write!(f, "report has no evaluation for method `{m}`")
+            }
+            BuildError::CorpusMismatch {
+                report_seed,
+                corpus_seed,
+            } => write!(
+                f,
+                "report was built from corpus seed {report_seed}, \
+                 but the supplied corpus has seed {corpus_seed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A fused knowledge base: read-optimized columnar indexes over one
+/// method's scored triples. See the [module docs](self) for the layout.
+///
+/// All row-aligned columns are ordered by the canonical triple order —
+/// the derived [`Triple`] `Ord` (subject, then predicate, then object) —
+/// which is also the deterministic tie-break everywhere a confidence
+/// comparison ties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedKb {
+    /// Corpus the KB was fused from (scale, seed, sizes).
+    pub corpus: CorpusSummary,
+    /// Fusion preset name (e.g. `popaccu_plus`).
+    pub method: String,
+    /// Human-readable method label (e.g. `POPACCU+`).
+    pub method_label: String,
+    /// Equal-width calibration WDEV of the serving method.
+    pub wdev: f64,
+    /// Equal-width calibration ECE of the serving method.
+    pub ece: f64,
+    /// AUC-PR of the serving method.
+    pub auc_pr: f64,
+    /// Scored triples excluded because the fuser predicted no
+    /// probability for them (§4.3.2's "cannot predict" residue).
+    pub n_dropped: u64,
+
+    // --- triple columns, canonical triple order ---------------------
+    pub(crate) subjects: Vec<u32>,
+    pub(crate) predicates: Vec<u32>,
+    pub(crate) obj_tags: Vec<u8>,
+    pub(crate) obj_payloads: Vec<u64>,
+    pub(crate) raw: Vec<f64>,
+    pub(crate) calibrated: Vec<f64>,
+    pub(crate) labels: Vec<u8>,
+    pub(crate) pages: Vec<u32>,
+    pub(crate) extractor_counts: Vec<u16>,
+    pub(crate) fallback: Vec<u8>,
+
+    // --- item index: runs of (subject, predicate) -------------------
+    pub(crate) item_subjects: Vec<u32>,
+    pub(crate) item_predicates: Vec<u32>,
+    /// `item_offsets[i]..item_offsets[i + 1]` is item `i`'s row range.
+    pub(crate) item_offsets: Vec<u32>,
+
+    // --- predicate index: per-predicate confidence ranking ----------
+    pub(crate) pred_ids: Vec<u32>,
+    /// `pred_offsets[i]..pred_offsets[i + 1]` indexes `rank`.
+    pub(crate) pred_offsets: Vec<u32>,
+    /// Triple rows, grouped by predicate, calibrated-descending
+    /// (ties: canonical triple order).
+    pub(crate) rank: Vec<u32>,
+
+    // --- provenance registry + per-triple drill-down lists ----------
+    /// [`ProvenanceKey::pack`](kf_types::ProvenanceKey::pack)ed keys,
+    /// indexed by dense provenance id.
+    pub(crate) prov_keys: Vec<u128>,
+    pub(crate) prov_accuracy: Vec<f64>,
+    pub(crate) prov_evaluated: Vec<u8>,
+    /// `prov_offsets[row]..prov_offsets[row + 1]` indexes `prov_ids`.
+    pub(crate) prov_offsets: Vec<u32>,
+    pub(crate) prov_ids: Vec<u32>,
+
+    /// Extractor display names, indexed by extractor id.
+    pub(crate) extractor_names: Vec<String>,
+}
+
+/// `Label` → stored tag. (False = 0, True = 1, Unknown = 2.)
+pub(crate) fn label_tag(l: Label) -> u8 {
+    match l {
+        Label::False => 0,
+        Label::True => 1,
+        Label::Unknown => 2,
+    }
+}
+
+/// Stored tag → `Label`.
+pub(crate) fn label_from_tag(tag: u8) -> Option<Label> {
+    match tag {
+        0 => Some(Label::False),
+        1 => Some(Label::True),
+        2 => Some(Label::Unknown),
+        _ => None,
+    }
+}
+
+/// `Value` → (variant tag, 8-byte payload), losslessly.
+pub(crate) fn obj_columns(v: Value) -> (u8, u64) {
+    match v {
+        Value::Entity(e) => (0, e.0 as u64),
+        Value::Str(s) => (1, s.0 as u64),
+        Value::Num(n) => (2, n.0 as u64),
+    }
+}
+
+/// Inverse of [`obj_columns`].
+pub(crate) fn obj_value(tag: u8, payload: u64) -> Option<Value> {
+    match tag {
+        0 => Some(Value::Entity(EntityId(u32::try_from(payload).ok()?))),
+        1 => Some(Value::Str(StrId(u32::try_from(payload).ok()?))),
+        2 => Some(Value::Num(Numeric(payload as i64))),
+        _ => None,
+    }
+}
+
+/// Read a raw probability through an equal-width calibration curve: the
+/// containing bin's observed accuracy where the bin has mass, the raw
+/// probability otherwise.
+///
+/// Bin assignment mirrors `kf_eval`'s curve construction exactly
+/// (`(p·n) as usize`, clamped), so a probability maps to the same bin it
+/// was counted into when the report was built.
+pub fn calibrate(curve: &CalibrationCurve, p: f64) -> f64 {
+    let n = curve.bins.len();
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 {
+        return p;
+    }
+    let bin = &curve.bins[((p * n as f64) as usize).min(n - 1)];
+    if bin.count > 0 && bin.observed_accuracy.is_finite() {
+        bin.observed_accuracy
+    } else {
+        p
+    }
+}
+
+impl FusedKb {
+    /// Compile a KB from an evaluation report plus the corpus snapshot it
+    /// was produced from.
+    ///
+    /// The report carries aggregate curves, not per-triple scores, so the
+    /// compile re-runs the preset's fusion (bit-deterministic — identical
+    /// to the run the report measured) and reads calibrated confidences
+    /// off the report's equal-width curve. Refuses a report/corpus pair
+    /// that disagrees on the generating seed.
+    pub fn compile(
+        report: &EvalReport,
+        corpus: &Corpus,
+        opts: &KbBuildOptions,
+    ) -> Result<FusedKb, BuildError> {
+        let _span = span("serve.compile");
+        let preset = Preset::by_name(&opts.method)
+            .ok_or_else(|| BuildError::UnknownMethod(opts.method.clone()))?;
+        let method = report
+            .method(preset.name())
+            .ok_or_else(|| BuildError::MethodNotInReport(opts.method.clone()))?;
+        if report.corpus.seed != corpus.seed {
+            return Err(BuildError::CorpusMismatch {
+                report_seed: report.corpus.seed,
+                corpus_seed: corpus.seed,
+            });
+        }
+        let mut config = preset.config();
+        if let Some(w) = opts.workers {
+            config = config.with_workers(w);
+        }
+        let gold = preset.needs_gold().then_some(&corpus.gold);
+        let (output, attribution) = {
+            let _span = span("serve.compile.fuse");
+            Fuser::new(config).run_with_attribution(&corpus.batch, gold)
+        };
+        let names = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+        Ok(Self::compile_from_parts(
+            report.corpus.clone(),
+            method,
+            &output,
+            &attribution,
+            &corpus.gold,
+            names,
+        ))
+    }
+
+    /// Compile a KB straight from a corpus snapshot, when no evaluation
+    /// report exists yet: runs the preset's fusion and evaluates it
+    /// in-process (the `kf-serve build` path). `scale` is the label
+    /// recorded in the KB header.
+    ///
+    /// No wall-clock measurement enters the artifact, so two builds from
+    /// the same snapshot are byte-identical.
+    pub fn build_from_corpus(
+        corpus: &Corpus,
+        opts: &KbBuildOptions,
+        scale: &str,
+    ) -> Result<FusedKb, BuildError> {
+        let _span = span("serve.compile");
+        let preset = Preset::by_name(&opts.method)
+            .ok_or_else(|| BuildError::UnknownMethod(opts.method.clone()))?;
+        let mut config = preset.config();
+        if let Some(w) = opts.workers {
+            config = config.with_workers(w);
+        }
+        let gold = preset.needs_gold().then_some(&corpus.gold);
+        let (output, attribution) = {
+            let _span = span("serve.compile.fuse");
+            Fuser::new(config).run_with_attribution(&corpus.batch, gold)
+        };
+        let runner = AblationRunner {
+            workers: opts.workers,
+            scale: scale.to_string(),
+            ..AblationRunner::default()
+        };
+        let method = runner.evaluate(preset, &output, &corpus.gold, 0.0);
+        let names = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+        Ok(Self::compile_from_parts(
+            runner.corpus_summary(corpus),
+            &method,
+            &output,
+            &attribution,
+            &corpus.gold,
+            names,
+        ))
+    }
+
+    /// Compile a KB from an already-fused output and its evaluation —
+    /// the zero-extra-fusion path `repro` uses when it just produced
+    /// both.
+    pub fn compile_from_parts(
+        corpus: CorpusSummary,
+        method: &MethodEval,
+        output: &FusionOutput,
+        attribution: &ProvenanceAttribution,
+        gold: &GoldStandard,
+        extractor_names: Vec<String>,
+    ) -> FusedKb {
+        let _span = span("serve.compile.index");
+        let scored = &output.scored;
+
+        // Keep predicted triples only, in canonical triple order.
+        let mut kept: Vec<u32> = (0..scored.len() as u32)
+            .filter(|&i| scored[i as usize].probability.is_some())
+            .collect();
+        kept.sort_unstable_by(|&a, &b| scored[a as usize].triple.cmp(&scored[b as usize].triple));
+        let n = kept.len();
+        let n_dropped = (scored.len() - n) as u64;
+        add("serve.build.triples", n as u64);
+        add("serve.build.dropped", n_dropped);
+
+        let mut kb = FusedKb {
+            corpus,
+            method: method.name.clone(),
+            method_label: method.label.clone(),
+            wdev: method.wdev(),
+            ece: method.ece(),
+            auc_pr: method.auc_pr(),
+            n_dropped,
+            subjects: Vec::with_capacity(n),
+            predicates: Vec::with_capacity(n),
+            obj_tags: Vec::with_capacity(n),
+            obj_payloads: Vec::with_capacity(n),
+            raw: Vec::with_capacity(n),
+            calibrated: Vec::with_capacity(n),
+            labels: Vec::with_capacity(n),
+            pages: Vec::with_capacity(n),
+            extractor_counts: Vec::with_capacity(n),
+            fallback: Vec::with_capacity(n),
+            item_subjects: Vec::new(),
+            item_predicates: Vec::new(),
+            item_offsets: vec![0],
+            pred_ids: Vec::new(),
+            pred_offsets: Vec::new(),
+            rank: Vec::new(),
+            prov_keys: attribution.keys.iter().map(|k| k.pack()).collect(),
+            prov_accuracy: attribution.accuracy.clone(),
+            prov_evaluated: attribution.evaluated.iter().map(|&e| e as u8).collect(),
+            prov_offsets: Vec::with_capacity(n + 1),
+            prov_ids: Vec::new(),
+            extractor_names,
+        };
+
+        let attributed = !scored.is_empty() && attribution.len() == scored.len();
+        kb.prov_offsets.push(0);
+        for (row, &orig) in kept.iter().enumerate() {
+            let st = &scored[orig as usize];
+            let t = st.triple;
+            let (tag, payload) = obj_columns(t.object);
+            kb.subjects.push(t.subject.0);
+            kb.predicates.push(t.predicate.0);
+            kb.obj_tags.push(tag);
+            kb.obj_payloads.push(payload);
+            let p = st.probability.expect("kept rows are predicted");
+            kb.raw.push(p);
+            kb.calibrated.push(calibrate(&method.calibration_width, p));
+            kb.labels.push(label_tag(gold.label(&t)));
+            kb.pages.push(st.n_pages);
+            kb.extractor_counts.push(st.n_extractors);
+            kb.fallback.push(st.fallback as u8);
+
+            // Item index: a new run starts whenever (subject, predicate)
+            // changes; canonical order makes runs contiguous.
+            let new_item = row == 0
+                || (t.subject.0, t.predicate.0) != (kb.subjects[row - 1], kb.predicates[row - 1]);
+            if new_item {
+                if row > 0 {
+                    kb.item_offsets.push(row as u32);
+                }
+                kb.item_subjects.push(t.subject.0);
+                kb.item_predicates.push(t.predicate.0);
+            }
+
+            if attributed {
+                kb.prov_ids
+                    .extend_from_slice(attribution.provs(orig as usize));
+            }
+            kb.prov_offsets.push(kb.prov_ids.len() as u32);
+        }
+        if n > 0 {
+            kb.item_offsets.push(n as u32);
+        }
+        add("serve.build.provs", kb.prov_ids.len() as u64);
+
+        // Predicate index: group rows by predicate, order each group by
+        // calibrated confidence descending; ties fall back to the row
+        // index, i.e. canonical triple order — the determinism-ledger
+        // tie-break rule.
+        let mut by_pred: Vec<(u32, u32)> = (0..n as u32)
+            .map(|row| (kb.predicates[row as usize], row))
+            .collect();
+        by_pred.sort_unstable_by(|&(pa, ra), &(pb, rb)| {
+            pa.cmp(&pb)
+                .then_with(|| kb.calibrated[rb as usize].total_cmp(&kb.calibrated[ra as usize]))
+                .then_with(|| ra.cmp(&rb))
+        });
+        for &(pred, row) in &by_pred {
+            if kb.pred_ids.last() != Some(&pred) {
+                kb.pred_ids.push(pred);
+                kb.pred_offsets.push(kb.rank.len() as u32);
+            }
+            kb.rank.push(row);
+        }
+        kb.pred_offsets.push(kb.rank.len() as u32);
+        kb
+    }
+
+    /// Number of served triples.
+    pub fn n_triples(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Number of distinct `(subject, predicate)` items.
+    pub fn n_items(&self) -> usize {
+        self.item_subjects.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn n_predicates(&self) -> usize {
+        self.pred_ids.len()
+    }
+
+    /// Number of provenances in the registry.
+    pub fn n_provenances(&self) -> usize {
+        self.prov_keys.len()
+    }
+
+    /// Reconstruct the triple stored at `row`.
+    pub(crate) fn triple_at(&self, row: usize) -> Triple {
+        Triple {
+            subject: EntityId(self.subjects[row]),
+            predicate: kf_types::PredicateId(self.predicates[row]),
+            object: obj_value(self.obj_tags[row], self.obj_payloads[row])
+                .expect("validated at decode"),
+        }
+    }
+
+    /// Atomically write the KB checkpoint at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let _span = span("serve.kb_save");
+        checkpoint::save(path.as_ref(), ArtifactKind::FusedKb, self)
+    }
+
+    /// Load a KB checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<FusedKb, CheckpointError> {
+        let _span = span("serve.kb_load");
+        let kb: FusedKb = checkpoint::load(path.as_ref(), ArtifactKind::FusedKb)?;
+        add("serve.load.triples", kb.n_triples() as u64);
+        Ok(kb)
+    }
+
+    /// Structural invariants the binary-search read path relies on.
+    /// Checked after every decode so a corrupted-but-parseable payload is
+    /// rejected as `Corrupt` instead of serving garbage.
+    fn validate(&self) -> bool {
+        let n = self.subjects.len();
+        let columns_aligned = self.predicates.len() == n
+            && self.obj_tags.len() == n
+            && self.obj_payloads.len() == n
+            && self.raw.len() == n
+            && self.calibrated.len() == n
+            && self.labels.len() == n
+            && self.pages.len() == n
+            && self.extractor_counts.len() == n
+            && self.fallback.len() == n
+            && self.prov_offsets.len() == n + 1;
+        if !columns_aligned {
+            return false;
+        }
+        let values_ok = (0..n).all(|i| {
+            obj_value(self.obj_tags[i], self.obj_payloads[i]).is_some()
+                && self.labels[i] <= 2
+                && self.fallback[i] <= 1
+        });
+        if !values_ok {
+            return false;
+        }
+        // Canonical order, strictly: equal adjacent triples would break
+        // binary-search uniqueness.
+        if !(1..n).all(|i| self.triple_at(i - 1) < self.triple_at(i)) {
+            return false;
+        }
+        // Item index: sorted keys, monotone offsets covering every row.
+        let m = self.item_subjects.len();
+        if self.item_predicates.len() != m || self.item_offsets.len() != m + 1 {
+            return false;
+        }
+        let item_key = |i: usize| (self.item_subjects[i], self.item_predicates[i]);
+        if !(1..m).all(|i| item_key(i - 1) < item_key(i)) {
+            return false;
+        }
+        if self.item_offsets[0] != 0
+            || self.item_offsets[m] as usize != n
+            || !(1..=m).all(|i| self.item_offsets[i - 1] < self.item_offsets[i])
+        {
+            return false;
+        }
+        // Predicate index: sorted ids, monotone offsets, a permutation of
+        // the rows.
+        let k = self.pred_ids.len();
+        if self.pred_offsets.len() != k + 1 || self.rank.len() != n {
+            return false;
+        }
+        if !(1..k).all(|i| self.pred_ids[i - 1] < self.pred_ids[i]) {
+            return false;
+        }
+        if k > 0
+            && (self.pred_offsets[0] != 0
+                || self.pred_offsets[k] as usize != n
+                || !(1..=k).all(|i| self.pred_offsets[i - 1] < self.pred_offsets[i]))
+        {
+            return false;
+        }
+        if k == 0 && n > 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &row in &self.rank {
+            match seen.get_mut(row as usize) {
+                Some(s) if !*s => *s = true,
+                _ => return false,
+            }
+        }
+        // Provenance registry: aligned columns, in-range ids, monotone
+        // offsets.
+        let p = self.prov_keys.len();
+        if self.prov_accuracy.len() != p || self.prov_evaluated.len() != p {
+            return false;
+        }
+        if self.prov_evaluated.iter().any(|&e| e > 1) {
+            return false;
+        }
+        if self.prov_offsets[0] != 0
+            || *self.prov_offsets.last().expect("n + 1 entries") as usize != self.prov_ids.len()
+            || !(1..=n).all(|i| self.prov_offsets[i - 1] <= self.prov_offsets[i])
+        {
+            return false;
+        }
+        self.prov_ids.iter().all(|&id| (id as usize) < p)
+    }
+}
+
+impl KvCodec for FusedKb {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.corpus.encode(out);
+        self.method.encode(out);
+        self.method_label.encode(out);
+        self.wdev.encode(out);
+        self.ece.encode(out);
+        self.auc_pr.encode(out);
+        self.n_dropped.encode(out);
+        encode_column(&self.subjects, out);
+        encode_column(&self.predicates, out);
+        encode_column(&self.obj_tags, out);
+        encode_column(&self.obj_payloads, out);
+        self.raw.encode(out);
+        self.calibrated.encode(out);
+        encode_column(&self.labels, out);
+        encode_column(&self.pages, out);
+        encode_column(&self.extractor_counts, out);
+        encode_column(&self.fallback, out);
+        encode_column(&self.item_subjects, out);
+        encode_column(&self.item_predicates, out);
+        encode_column(&self.item_offsets, out);
+        encode_column(&self.pred_ids, out);
+        encode_column(&self.pred_offsets, out);
+        encode_column(&self.rank, out);
+        self.prov_keys.encode(out);
+        self.prov_accuracy.encode(out);
+        encode_column(&self.prov_evaluated, out);
+        encode_column(&self.prov_offsets, out);
+        encode_column(&self.prov_ids, out);
+        self.extractor_names.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let kb = FusedKb {
+            corpus: CorpusSummary::decode(input)?,
+            method: String::decode(input)?,
+            method_label: String::decode(input)?,
+            wdev: f64::decode(input)?,
+            ece: f64::decode(input)?,
+            auc_pr: f64::decode(input)?,
+            n_dropped: u64::decode(input)?,
+            subjects: decode_column(input)?,
+            predicates: decode_column(input)?,
+            obj_tags: decode_column(input)?,
+            obj_payloads: decode_column(input)?,
+            raw: Vec::decode(input)?,
+            calibrated: Vec::decode(input)?,
+            labels: decode_column(input)?,
+            pages: decode_column(input)?,
+            extractor_counts: decode_column(input)?,
+            fallback: decode_column(input)?,
+            item_subjects: decode_column(input)?,
+            item_predicates: decode_column(input)?,
+            item_offsets: decode_column(input)?,
+            pred_ids: decode_column(input)?,
+            pred_offsets: decode_column(input)?,
+            rank: decode_column(input)?,
+            prov_keys: Vec::decode(input)?,
+            prov_accuracy: Vec::decode(input)?,
+            prov_evaluated: decode_column(input)?,
+            prov_offsets: decode_column(input)?,
+            prov_ids: decode_column(input)?,
+            extractor_names: Vec::decode(input)?,
+        };
+        kb.validate().then_some(kb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_eval::{Binning, CalibrationBin};
+    use kf_synth::SynthConfig;
+
+    fn fixture() -> FusedKb {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 9);
+        FusedKb::build_from_corpus(&corpus, &KbBuildOptions::default(), "tiny").expect("build")
+    }
+
+    fn reencode_decodes(kb: &FusedKb) -> Option<FusedKb> {
+        let mut payload = Vec::new();
+        kb.encode(&mut payload);
+        let mut input = payload.as_slice();
+        let decoded = FusedKb::decode(&mut input)?;
+        input.is_empty().then_some(decoded)
+    }
+
+    /// A parseable payload with a broken structural invariant must be
+    /// rejected by decode-time validation — the read path binary-searches
+    /// these columns unchecked.
+    #[test]
+    fn broken_invariants_fail_decode() {
+        let kb = fixture();
+        assert!(reencode_decodes(&kb).is_some(), "fixture itself decodes");
+
+        let mut out_of_range_rank = kb.clone();
+        out_of_range_rank.rank[0] = kb.n_triples() as u32 + 7;
+        assert!(reencode_decodes(&out_of_range_rank).is_none());
+
+        let mut non_canonical = kb.clone();
+        non_canonical.subjects[0] = u32::MAX;
+        assert!(reencode_decodes(&non_canonical).is_none());
+
+        let mut misaligned = kb.clone();
+        misaligned.raw.pop();
+        assert!(reencode_decodes(&misaligned).is_none());
+
+        let mut bad_label = kb.clone();
+        bad_label.labels[0] = 9;
+        assert!(reencode_decodes(&bad_label).is_none());
+
+        let mut bad_prov = kb.clone();
+        if let Some(id) = bad_prov.prov_ids.first_mut() {
+            *id = kb.prov_keys.len() as u32;
+            assert!(reencode_decodes(&bad_prov).is_none());
+        }
+
+        let mut non_monotone = kb.clone();
+        let last = non_monotone.item_offsets.len() - 1;
+        non_monotone.item_offsets[last] += 1;
+        assert!(reencode_decodes(&non_monotone).is_none());
+    }
+
+    /// Duplicate rows in the rank permutation (a row served twice under
+    /// one predicate) are caught even when lengths line up.
+    #[test]
+    fn duplicate_rank_rows_fail_decode() {
+        let kb = fixture();
+        let mut duped = kb.clone();
+        assert!(duped.rank.len() >= 2);
+        duped.rank[1] = duped.rank[0];
+        assert!(reencode_decodes(&duped).is_none());
+    }
+
+    /// The calibration lookup mirrors curve construction: a probability
+    /// lands in the bin it was counted into, bin mass wins over the raw
+    /// value, and empty bins fall back to the raw probability.
+    #[test]
+    fn calibrate_reads_the_curve() {
+        let curve = CalibrationCurve {
+            binning: Binning::EqualWidth(2),
+            bins: vec![
+                CalibrationBin {
+                    lo: 0.0,
+                    hi: 0.5,
+                    count: 4,
+                    mean_predicted: 0.3,
+                    observed_accuracy: 0.25,
+                },
+                CalibrationBin {
+                    lo: 0.5,
+                    hi: 1.0,
+                    count: 0,
+                    mean_predicted: 0.75,
+                    observed_accuracy: f64::NAN,
+                },
+            ],
+            wdev: 0.0,
+            ece: 0.0,
+        };
+        assert_eq!(calibrate(&curve, 0.2), 0.25);
+        assert_eq!(calibrate(&curve, 0.49), 0.25);
+        // Empty upper bin: raw probability passes through.
+        assert_eq!(calibrate(&curve, 0.8), 0.8);
+        // Boundary goes to the upper bin, exactly like curve building.
+        assert_eq!(calibrate(&curve, 0.5), 0.5);
+        // p = 1.0 clamps into the last bin.
+        assert_eq!(calibrate(&curve, 1.0), 1.0);
+        // Out-of-range inputs clamp first.
+        assert_eq!(calibrate(&curve, -3.0), 0.25);
+        let empty = CalibrationCurve {
+            binning: Binning::EqualWidth(1),
+            bins: vec![],
+            wdev: 0.0,
+            ece: 0.0,
+        };
+        assert_eq!(calibrate(&empty, 0.7), 0.7);
+    }
+
+    /// Value and label column tags roundtrip losslessly — including
+    /// negative numerics, whose u64 payload is not order-preserving
+    /// (the reason the read path compares reconstructed values).
+    #[test]
+    fn column_tags_roundtrip() {
+        for v in [
+            Value::Entity(EntityId(0)),
+            Value::Entity(EntityId(u32::MAX)),
+            Value::Str(StrId(7)),
+            Value::Num(Numeric(-1_500)),
+            Value::Num(Numeric(i64::MIN)),
+            Value::Num(Numeric(i64::MAX)),
+        ] {
+            let (tag, payload) = obj_columns(v);
+            assert_eq!(obj_value(tag, payload), Some(v));
+        }
+        assert_eq!(obj_value(3, 0), None);
+        // Entity/str payloads wider than u32 are malformed.
+        assert_eq!(obj_value(0, u64::MAX), None);
+        for l in [Label::False, Label::True, Label::Unknown] {
+            assert_eq!(label_from_tag(label_tag(l)), Some(l));
+        }
+        assert_eq!(label_from_tag(3), None);
+    }
+
+    /// An empty fusion output compiles to an empty-but-valid KB.
+    #[test]
+    fn empty_output_compiles_and_roundtrips() {
+        let corpus = Corpus::generate(&SynthConfig::tiny(), 5);
+        let output = FusionOutput {
+            scored: Vec::new(),
+            ..Fuser::new(Preset::Vote.config()).run(&corpus.batch, None)
+        };
+        let attribution = ProvenanceAttribution::default();
+        let runner = AblationRunner::default();
+        let method = runner.evaluate(Preset::Vote, &output, &corpus.gold, 0.0);
+        let kb = FusedKb::compile_from_parts(
+            runner.corpus_summary(&corpus),
+            &method,
+            &output,
+            &attribution,
+            &corpus.gold,
+            Vec::new(),
+        );
+        assert_eq!(kb.n_triples(), 0);
+        assert_eq!(kb.n_items(), 0);
+        assert_eq!(kb.n_predicates(), 0);
+        let decoded = reencode_decodes(&kb).expect("empty KB roundtrips");
+        assert_eq!(decoded, kb);
+    }
+}

@@ -1,0 +1,60 @@
+//! # kf-serve — an online query engine over fused checkpoints
+//!
+//! The fusion pipeline ends in batch artifacts: an
+//! [`EvalReport`](kf_eval::EvalReport) checkpoint and a corpus snapshot. This crate turns them into
+//! something a *consumer* can query at interactive latency, the way the
+//! paper frames its output — calibrated triple probabilities plus the
+//! provenance evidence behind each belief (§3.1.1, §5.2):
+//!
+//! * [`FusedKb`] — the serving artifact: one method's scored triples
+//!   compiled into read-only columnar indexes (item → belief
+//!   distribution, predicate → confidence ranking, triple → provenance
+//!   drill-down), persisted through the `KFCP` checkpoint container as
+//!   its own [`ArtifactKind`](kf_types::ArtifactKind::FusedKb).
+//! * [`KbReader`] — the `Sync`, zero-copy query surface: one loaded
+//!   arena shared across any number of threads, with an allocation-free
+//!   hot read path.
+//! * [`repl`] — the line-oriented query language behind the `kf-serve`
+//!   CLI, exposed as a library so tests can drive it.
+//!
+//! Build a KB either from artifacts on disk (`kf-serve build`, or
+//! [`FusedKb::compile`]) or directly at the end of a `repro` run
+//! (`--build-kb`, via [`FusedKb::compile_from_parts`]).
+//!
+//! ```
+//! use kf_serve::{FusedKb, KbBuildOptions, KbReader};
+//! use kf_eval::AblationRunner;
+//! use kf_synth::{Corpus, SynthConfig};
+//! use kf_types::DataItem;
+//!
+//! let corpus = Corpus::generate(&SynthConfig::tiny(), 42);
+//! let report = AblationRunner::default().run(&corpus);
+//! let kb = FusedKb::compile(&report, &corpus, &KbBuildOptions::default()).unwrap();
+//! let reader = KbReader::new(kb);
+//!
+//! // Every served triple belongs to some item's belief distribution.
+//! let view = reader.view(0);
+//! let belief = reader
+//!     .belief(DataItem {
+//!         subject: view.triple.subject,
+//!         predicate: view.triple.predicate,
+//!     })
+//!     .expect("served triple has a belief");
+//! assert!(belief.iter().any(|v| v.triple == view.triple));
+//! ```
+
+pub mod kb;
+pub mod reader;
+pub mod repl;
+
+pub use kb::{calibrate, BuildError, FusedKb, KbBuildOptions};
+pub use reader::{Belief, Drilldown, KbReader, ProvSupport, TopK, TripleView};
+pub use repl::{eval_command, run_repl, ReplOutput};
+
+// Re-exported for the doc example above.
+#[doc(hidden)]
+pub use kf_eval;
+#[doc(hidden)]
+pub use kf_synth;
+#[doc(hidden)]
+pub use kf_types;

@@ -48,7 +48,11 @@ pub const MAGIC: [u8; 4] = *b"KFCP";
 /// Version of the payload encodings. Bump on any incompatible change to
 /// a `KvCodec` impl reachable from a checkpointed artifact. Version 2:
 /// `MethodEval` gained a trailing optional `kf-telemetry` trace.
-pub const FORMAT_VERSION: u16 = 2;
+/// Version 3: the `FusedKb` serving artifact joined the format — bumped
+/// (despite being a purely additive kind) so every serving-era artifact
+/// self-identifies and a pre-serving build rejects a KB file with a
+/// version error rather than an unknown-kind one.
+pub const FORMAT_VERSION: u16 = 3;
 
 /// What a checkpoint file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +65,9 @@ pub enum ArtifactKind {
     Corpus = 2,
     /// A `kf-eval` evaluation report (full or one shard's slice).
     Report = 3,
+    /// A `kf-serve` fused knowledge base: read-optimized columnar indexes
+    /// compiled from an evaluation report + corpus snapshot.
+    FusedKb = 4,
 }
 
 impl ArtifactKind {
@@ -70,6 +77,7 @@ impl ArtifactKind {
             ArtifactKind::World => "world",
             ArtifactKind::Corpus => "corpus",
             ArtifactKind::Report => "report",
+            ArtifactKind::FusedKb => "fused-kb",
         }
     }
 
@@ -79,6 +87,7 @@ impl ArtifactKind {
             1 => Some(ArtifactKind::World),
             2 => Some(ArtifactKind::Corpus),
             3 => Some(ArtifactKind::Report),
+            4 => Some(ArtifactKind::FusedKb),
             _ => None,
         }
     }
@@ -308,6 +317,22 @@ mod tests {
             decode::<u32>(ArtifactKind::Corpus, &bytes),
             Err(CheckpointError::WrongKind { found: 200, .. })
         ));
+    }
+
+    #[test]
+    fn fused_kb_kind_roundtrips() {
+        assert_eq!(ArtifactKind::from_tag(4), Some(ArtifactKind::FusedKb));
+        assert_eq!(ArtifactKind::FusedKb.name(), "fused-kb");
+        let bytes = encode(ArtifactKind::FusedKb, &7u32);
+        assert_eq!(decode::<u32>(ArtifactKind::FusedKb, &bytes).unwrap(), 7);
+        // A KB checkpoint handed to a corpus loader names both kinds.
+        match decode::<u32>(ArtifactKind::Corpus, &bytes) {
+            Err(e @ CheckpointError::WrongKind { .. }) => {
+                let msg = e.to_string();
+                assert!(msg.contains("fused-kb") && msg.contains("corpus"), "{msg}");
+            }
+            other => panic!("expected wrong kind, got {other:?}"),
+        }
     }
 
     #[test]

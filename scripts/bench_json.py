@@ -31,6 +31,13 @@ ROW = re.compile(
     r"(?P<mean>[\d.]+) (?P<mean_u>\S+) (?P<max>[\d.]+) (?P<max_u>\S+)\]"
 )
 
+# Throughput rows (the serve bench): same table shape, `thrpt:` instead
+# of `time:`, all three values in queries/second.
+THRPT = re.compile(
+    r"^(?P<id>\S+)\s+thrpt:\s*\[(?P<min>[\d.]+) q/s "
+    r"(?P<mean>[\d.]+) q/s (?P<max>[\d.]+) q/s\]"
+)
+
 UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
@@ -79,20 +86,32 @@ def main() -> int:
     for path in args.logs:
         with open(path, encoding="utf-8") as f:
             for line in f:
-                m = ROW.match(line.strip())
-                if not m:
+                stripped = line.strip()
+                m = ROW.match(stripped)
+                t = None if m else THRPT.match(stripped)
+                if not m and not t:
                     continue
-                row_id = m.group("id")
+                row_id = (m or t).group("id")
                 if args.filter and not any(row_id.startswith(p) for p in args.filter):
                     continue
-                rows.append(
-                    {
-                        "id": row_id,
-                        "min_ns": to_ns(m.group("min"), m.group("min_u")),
-                        "mean_ns": to_ns(m.group("mean"), m.group("mean_u")),
-                        "max_ns": to_ns(m.group("max"), m.group("max_u")),
-                    }
-                )
+                if m:
+                    rows.append(
+                        {
+                            "id": row_id,
+                            "min_ns": to_ns(m.group("min"), m.group("min_u")),
+                            "mean_ns": to_ns(m.group("mean"), m.group("mean_u")),
+                            "max_ns": to_ns(m.group("max"), m.group("max_u")),
+                        }
+                    )
+                else:
+                    rows.append(
+                        {
+                            "id": row_id,
+                            "min_qps": float(t.group("min")),
+                            "mean_qps": float(t.group("mean")),
+                            "max_qps": float(t.group("max")),
+                        }
+                    )
     if args.trace:
         rows.extend(trace_rows(args.trace))
 

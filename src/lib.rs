@@ -13,6 +13,7 @@
 //! | [`synth`] | synthetic web-extraction corpus with the paper's statistical artifacts |
 //! | [`eval`] | calibration (WDEV/ECE), PR curves (AUC-PR, precision@k), ablation runner |
 //! | [`diagnose`] | Fig. 17 automated error taxonomy with per-extractor attribution |
+//! | [`serve`] | online query engine: the `FusedKb` artifact + concurrent `KbReader` |
 //! | [`telemetry`] | structured spans, counters & run traces across the pipeline |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use kf_core as core;
 pub use kf_diagnose as diagnose;
 pub use kf_eval as eval;
 pub use kf_mapreduce as mapreduce;
+pub use kf_serve as serve;
 pub use kf_synth as synth;
 pub use kf_telemetry as telemetry;
 pub use kf_types as types;
@@ -69,6 +71,7 @@ pub mod prelude {
         Preset,
     };
     pub use kf_mapreduce::MrConfig;
+    pub use kf_serve::{FusedKb, KbBuildOptions, KbReader};
     pub use kf_synth::{Corpus, SynthConfig};
     pub use kf_telemetry::{Trace, TraceReport};
     pub use kf_types::{
