@@ -13,6 +13,13 @@
 //! assert_eq!(report.methods.len(), 5);
 //! ```
 
+pub mod scenarios;
+
+pub use scenarios::{
+    band_accuracy, scenario_config, scenario_corpus, separation, ScenarioCell, ScenarioMatrix,
+    ScenarioRow, SCENARIO_NAMES,
+};
+
 use kf_diagnose::{DiagnoseConfig, Diagnoser, SupportIndex};
 use kf_eval::{AblationRunner, EvalReport, MethodEval, Preset};
 use kf_mapreduce::MrConfig;
@@ -44,6 +51,9 @@ impl std::error::Error for ParseError {}
 pub struct ReproOptions {
     /// Corpus scale preset: `tiny`, `small`, `paper` (default) or `large`.
     pub scale: String,
+    /// Hostile-corpus scenario applied on top of the scale preset
+    /// (`honest` default; see [`SCENARIO_NAMES`]).
+    pub scenario: String,
     /// Corpus generator seed.
     pub seed: u64,
     /// Where to write the JSON report (`None` = don't write). In `--shard`
@@ -96,6 +106,7 @@ impl Default for ReproOptions {
     fn default() -> Self {
         ReproOptions {
             scale: "paper".to_string(),
+            scenario: "honest".to_string(),
             seed: 42,
             out: Some("report.json".to_string()),
             out_explicit: false,
@@ -142,6 +153,15 @@ impl ReproOptions {
                         )));
                     }
                     opts.scale = v;
+                }
+                "--scenario" => {
+                    let v = value("--scenario")?;
+                    if !SCENARIO_NAMES.contains(&v.as_str()) {
+                        return Err(invalid(format!(
+                            "unknown scenario {v:?} (expected one of {SCENARIO_NAMES:?})"
+                        )));
+                    }
+                    opts.scenario = v;
                 }
                 "--seed" => {
                     let v = value("--seed")?;
@@ -249,6 +269,14 @@ impl ReproOptions {
                 opts.merge_inputs[0]
             )));
         }
+        if opts.scenario != "honest" && (opts.corpus.is_some() || opts.merge) {
+            return Err(invalid(
+                "--scenario applies at corpus-generation time; a checkpoint loaded \
+                 with --corpus (or shard reports under --merge) already embeds its \
+                 scenario"
+                    .to_string(),
+            ));
+        }
         if opts.save_corpus.is_some() && opts.shard.is_some() {
             return Err(invalid(
                 "--save-corpus cannot be combined with --shard (the snapshot subflow \
@@ -294,6 +322,10 @@ evaluate calibration and PR quality, and write a diffable report.json.
 
 options:
   --scale tiny|small|paper|large   corpus size (default: paper)
+  --scenario NAME                  hostile-corpus scenario applied at
+                                   generation time (honest|copying|spam|
+                                   drift|linkage; default: honest);
+                                   incompatible with --corpus/--merge
   --seed N                         corpus seed (default: 42)
   --out PATH                       report path (default: report.json;
                                    binary shard report in --shard mode)
@@ -348,10 +380,16 @@ pub fn scale_config(scale: &str) -> Option<SynthConfig> {
 /// Generate the corpus described by `opts`. Errors on an unknown scale
 /// (possible when options are built directly rather than parsed).
 pub fn generate_corpus(opts: &ReproOptions) -> Result<Corpus, String> {
-    let config = scale_config(&opts.scale).ok_or_else(|| {
+    let mut config = scale_config(&opts.scale).ok_or_else(|| {
         format!(
             "unknown scale {:?} (expected tiny|small|paper|large)",
             opts.scale
+        )
+    })?;
+    config.scenarios = scenario_config(&opts.scenario, &config).ok_or_else(|| {
+        format!(
+            "unknown scenario {:?} (expected one of {SCENARIO_NAMES:?})",
+            opts.scenario
         )
     })?;
     Ok(Corpus::generate(&config, opts.seed))
@@ -468,8 +506,11 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
         let _span = kf_telemetry::span("support_index");
         let (support, _) = SupportIndex::build(&corpus.batch.records, &mr);
         let truth = corpus.taxonomy_truth();
+        // Empty for honest corpora; hostile checkpoints carry their
+        // injected phenomena into every method's taxonomy section.
+        let scenario = corpus.scenario_truth();
         let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
-        (support, truth, labels)
+        (support, truth, scenario, labels)
     });
 
     let methods: Vec<MethodEval> = opts
@@ -479,7 +520,7 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
             let run_one = || -> MethodEval {
                 // Without diagnosis the ablation runner's plain path
                 // applies — no provenance attribution is built.
-                let Some((support, truth, labels)) = &diagnosis else {
+                let Some((support, truth, scenario, labels)) = &diagnosis else {
                     return runner.run_preset(corpus, preset);
                 };
                 let mut config = preset.config();
@@ -497,6 +538,7 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
                     let _span = kf_telemetry::span("diagnose");
                     let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, support)
                         .with_truth(truth)
+                        .with_scenario(scenario)
                         .with_attribution(&attribution)
                         .with_extractor_labels(labels)
                         .with_config(DiagnoseConfig {
@@ -583,6 +625,27 @@ mod tests {
         assert!(ReproOptions::parse(["--presets", "nope"]).is_err());
         assert!(ReproOptions::parse(["--frobnicate"]).is_err());
         assert!(ReproOptions::parse(["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parse_scenario_flag() {
+        assert_eq!(
+            ReproOptions::parse(Vec::<String>::new()).unwrap().scenario,
+            "honest"
+        );
+        for name in SCENARIO_NAMES {
+            let opts = ReproOptions::parse(["--scenario", name]).unwrap();
+            assert_eq!(opts.scenario, *name);
+        }
+        assert!(ReproOptions::parse(["--scenario", "zombie"]).is_err());
+        assert!(ReproOptions::parse(["--scenario"]).is_err());
+        // A scenario rewrites the generator config, so it cannot combine
+        // with a pre-generated checkpoint or a shard merge.
+        assert!(ReproOptions::parse(["--scenario", "spam", "--corpus", "c.kfc"]).is_err());
+        let err =
+            ReproOptions::parse(["--scenario", "spam", "--merge", "a.bin", "--out", "r.json"])
+                .unwrap_err();
+        assert!(err.to_string().contains("--scenario"), "{err}");
     }
 
     #[test]

@@ -58,7 +58,8 @@ use kf_core::{FusionOutput, ProvenanceAttribution};
 use kf_mapreduce::{map_reduce_with_stats, Emitter, JobStats, MrConfig};
 use kf_types::{
     BandBreakdown, CategoryAccuracy, CategoryCounts, ConfusionCell, ErrorCategory, FxHashMap,
-    GoldStandard, GroupBreakdown, Spread, TaxonomyReport, Triple, ValueHierarchy,
+    GoldStandard, GroupBreakdown, ScenarioPhenomenon, Spread, TaxonomyReport, Triple,
+    ValueHierarchy,
 };
 
 /// Configuration of the diagnosis pass.
@@ -96,6 +97,7 @@ pub struct Diagnoser<'a, H: ValueHierarchy + Sync> {
     hierarchy: &'a H,
     support: &'a SupportIndex,
     truth: Option<&'a FxHashMap<Triple, ErrorCategory>>,
+    scenario: Option<&'a FxHashMap<Triple, ScenarioPhenomenon>>,
     attribution: Option<&'a ProvenanceAttribution>,
     extractor_labels: &'a [String],
     cfg: DiagnoseConfig,
@@ -123,6 +125,8 @@ const DIM_SPREAD: u8 = 4;
 const DIM_CONFUSION: u8 = 5;
 /// Mean-provenance-accuracy mass per heuristic category.
 const DIM_ACCURACY: u8 = 6;
+/// False positives per (injected hostile-scenario phenomenon, category).
+const DIM_SCENARIO: u8 = 7;
 
 impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
     /// A diagnoser over the required context: the gold standard the
@@ -134,6 +138,7 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
             hierarchy,
             support,
             truth: None,
+            scenario: None,
             attribution: None,
             extractor_labels: &[],
             cfg: DiagnoseConfig::default(),
@@ -145,6 +150,17 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
     /// and the attribution-accuracy gates.
     pub fn with_truth(mut self, truth: &'a FxHashMap<Triple, ErrorCategory>) -> Self {
         self.truth = Some(truth);
+        self
+    }
+
+    /// Join against hostile-scenario ground truth (from
+    /// `kf_synth::Corpus::scenario_truth`): each false positive whose
+    /// triple was injected by a scenario (copying, spam, drift, hard
+    /// linkage) lands in the report's per-phenomenon breakdown, so the
+    /// damage each hostile mechanism does is *measured* against the
+    /// generator's own record of what it injected.
+    pub fn with_scenario(mut self, scenario: &'a FxHashMap<Triple, ScenarioPhenomenon>) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -264,6 +280,11 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
                 emit.emit((DIM_CONFUSION, injected.index() as u32, cat_tag), (1, 0.0));
             }
         }
+        if let Some(scenario) = self.scenario {
+            if let Some(&phenomenon) = scenario.get(&s.triple) {
+                emit.emit((DIM_SCENARIO, phenomenon.index() as u32, cat_tag), (1, 0.0));
+            }
+        }
         if let Some(attribution) = self.attribution {
             if let Some(mean) = attribution.mean_accuracy(i) {
                 emit.emit((DIM_ACCURACY, cat.index() as u32, 0), (1, mean));
@@ -291,6 +312,7 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
         let mut predicates: Vec<GroupBreakdown> = Vec::new();
         let mut extractors: Vec<GroupBreakdown> = Vec::new();
         let mut spread: Vec<GroupBreakdown> = Vec::new();
+        let mut scenarios: Vec<GroupBreakdown> = Vec::new();
         let mut confusion: Vec<ConfusionCell> = Vec::new();
         let mut accuracy_mass = [(0u64, 0.0f64); ErrorCategory::COUNT];
 
@@ -348,6 +370,13 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
                         .counts
                         .add(cat.expect("category tag"), count);
                 }
+                DIM_SCENARIO => {
+                    let phenomenon = ScenarioPhenomenon::from_index(key as usize)
+                        .expect("scenario phenomenon key");
+                    group_slot(&mut scenarios, key, phenomenon.name().to_string())
+                        .counts
+                        .add(cat.expect("category tag"), count);
+                }
                 DIM_CONFUSION => {
                     confusion.push(ConfusionCell {
                         heuristic: cat.expect("category tag"),
@@ -397,6 +426,7 @@ impl<'a, H: ValueHierarchy + Sync> Diagnoser<'a, H> {
             predicates,
             extractors,
             spread,
+            scenarios,
             confusion,
             mean_prov_accuracy,
             n_false_positives,

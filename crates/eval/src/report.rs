@@ -70,6 +70,9 @@
 //!         "extractors":  [ … ],      // one FP counts toward EVERY supporting
 //!                                    //   extractor (per-extractor attribution)
 //!         "spread":      [ … ],      // support-shape classes (pages×extractors)
+//!         "scenarios":   [ … ],      // injected hostile-scenario phenomena
+//!                                    //   (copied/spam/drift/linkage); empty
+//!                                    //   when no scenario truth was joined
 //!         "confusion": [             // heuristic vs generator-injected category
 //!           {"heuristic": "…", "injected": "…", "count": …}, …
 //!         ],
@@ -310,6 +313,7 @@ pub fn taxonomy_to_json(t: &TaxonomyReport) -> Json {
         ("predicates", Json::arr(t.predicates.iter().map(group))),
         ("extractors", Json::arr(t.extractors.iter().map(group))),
         ("spread", Json::arr(t.spread.iter().map(group))),
+        ("scenarios", Json::arr(t.scenarios.iter().map(group))),
         (
             "confusion",
             Json::arr(t.confusion.iter().map(|c| {
@@ -664,6 +668,7 @@ mod tests {
                 counts,
             }],
             spread: vec![],
+            scenarios: vec![],
             confusion: vec![ConfusionCell {
                 heuristic: ErrorCategory::SystematicExtraction,
                 injected: ErrorCategory::SystematicExtraction,

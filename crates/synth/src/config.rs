@@ -133,6 +133,143 @@ impl Default for WebConfig {
     }
 }
 
+/// Copying scenario: extractor pairs that replicate each other's output.
+///
+/// When `dependence > 0`, every odd-indexed extractor becomes a *copier*
+/// of the extractor one index below it (TXT2 copies TXT1, DOM2 copies
+/// DOM1, …). On each page both run on, the copier replicates each record
+/// the source produced — triple, pattern, confidence, mistakes and all —
+/// with probability `dependence`, instead of extracting the claim itself.
+/// Copied records carry the copier's own provenance, so vote-counting
+/// methods see them as independent corroboration (§5.2's copying
+/// phenomenon — exactly what ACCU-family methods mis-model without copy
+/// detection).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CopyingConfig {
+    /// Probability that a copier replicates a source record instead of
+    /// doing its own extraction. `0.0` disables the scenario.
+    pub dependence: f64,
+}
+
+impl Default for CopyingConfig {
+    fn default() -> Self {
+        CopyingConfig { dependence: 0.0 }
+    }
+}
+
+/// Source-spam scenario: many low-quality pages pushing one wrong voice.
+///
+/// `n_pages` spam pages are appended after the organic web, spread
+/// round-robin over `n_sites` fresh (General-class) sites. Each page
+/// carries `claims_per_page` DOM claims cycling through `n_items`
+/// deterministically chosen target items; every claim about an item
+/// asserts the *same* wrong value (the item's popular false value when
+/// one was minted, a fresh wrong value otherwise), flagged as a source
+/// error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpamConfig {
+    /// Number of spam pages to append. `0` disables the scenario.
+    pub n_pages: usize,
+    /// Number of target items the spam campaign pushes values for.
+    pub n_items: usize,
+    /// Claims per spam page.
+    pub claims_per_page: usize,
+    /// Number of fresh sites the spam pages spread across.
+    pub n_sites: usize,
+}
+
+impl Default for SpamConfig {
+    fn default() -> Self {
+        SpamConfig {
+            n_pages: 0,
+            n_items: 50,
+            claims_per_page: 4,
+            n_sites: 8,
+        }
+    }
+}
+
+/// Temporal-drift scenario: truth flips mid-corpus.
+///
+/// A `fraction` of data items (chosen deterministically by hash) are
+/// *drifted*: the world holds their current truth, but every page whose
+/// id falls before `position × n_pages` claims a stale pre-flip value
+/// instead (flagged as a source error — the page is out of date). Early
+/// and late pages therefore disagree, and the stale claims are faithful
+/// extractions of source-wrong content (Fig. 17's LCWA-artifact shape).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fraction of data items whose truth flipped. `0.0` disables the
+    /// scenario.
+    pub fraction: f64,
+    /// Position of the flip within the page stream (0.0–1.0): pages with
+    /// id below `position × n_pages` claim the stale value.
+    pub position: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            fraction: 0.0,
+            position: 0.5,
+        }
+    }
+}
+
+/// Hard-linkage scenario: an inflated confusable-entity surface.
+///
+/// `confusable_ring` controls the size of the confusable groups built
+/// into the world: the default 2 pairs entities up symmetrically; larger
+/// rings give every entity a confusable partner and chain the mistakes
+/// (a → b → c → a), multiplying the distinct wrong values linkage errors
+/// can land on. `error_boost` additionally scales every extractor's
+/// entity- and predicate-linkage error weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkageConfig {
+    /// Confusable group size (≥ 2). The default 2 is the honest world's
+    /// symmetric pairing.
+    pub confusable_ring: usize,
+    /// Multiplier on the extractors' linkage error-profile weights
+    /// (`1.0` = unchanged).
+    pub error_boost: f64,
+}
+
+impl Default for LinkageConfig {
+    fn default() -> Self {
+        LinkageConfig {
+            confusable_ring: 2,
+            error_boost: 1.0,
+        }
+    }
+}
+
+/// Hostile-corpus scenario knobs. All defaults are no-ops: a default
+/// `ScenarioConfig` takes exactly the honest generator's code paths and
+/// produces byte-identical corpora (pinned by the
+/// `scenario_defaults_preserve_default_corpus` regression test).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Correlated (copying) extractors.
+    pub copying: CopyingConfig,
+    /// Source spam.
+    pub spam: SpamConfig,
+    /// Temporal drift.
+    pub drift: DriftConfig,
+    /// Hard linkage.
+    pub linkage: LinkageConfig,
+}
+
+impl ScenarioConfig {
+    /// True when any scenario is active (any knob off its no-op default).
+    pub fn any_active(&self) -> bool {
+        self.copying.dependence > 0.0
+            || self.spam.n_pages > 0
+            || self.drift.fraction > 0.0
+            || self.linkage.confusable_ring > 2
+            || self.linkage.error_boost > 1.0
+    }
+}
+
 /// Top-level generator configuration.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SynthConfig {
@@ -142,6 +279,8 @@ pub struct SynthConfig {
     pub gold: GoldConfig,
     /// Web-corpus parameters.
     pub web: WebConfig,
+    /// Hostile-corpus scenario knobs (all no-ops by default).
+    pub scenarios: ScenarioConfig,
 }
 
 impl SynthConfig {
@@ -161,6 +300,7 @@ impl SynthConfig {
                 mean_claims_per_page: 5.0,
                 ..Default::default()
             },
+            scenarios: ScenarioConfig::default(),
         }
     }
 
@@ -180,6 +320,7 @@ impl SynthConfig {
                 n_pages: 5_000,
                 ..Default::default()
             },
+            scenarios: ScenarioConfig::default(),
         }
     }
 
@@ -204,6 +345,7 @@ impl SynthConfig {
                 n_pages: 100_000,
                 ..Default::default()
             },
+            scenarios: ScenarioConfig::default(),
         }
     }
 }

@@ -1,11 +1,14 @@
 //! End-to-end corpus generation: world → web → extractions → gold labels.
 
 use crate::config::SynthConfig;
-use crate::extractor::{default_extractors, ExtractionOutcome, ExtractorSpec};
+use crate::extractor::{default_extractors, ExtractionOutcome, ExtractorSpec, SimulatedExtraction};
 use crate::freebase::build_gold;
 use crate::web::{ContentType, Web};
 use crate::world::World;
-use kf_types::{hash, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance, Triple};
+use kf_types::{
+    hash, DataItem, Extraction, ExtractionBatch, ExtractorId, GoldStandard, Provenance,
+    ScenarioPhenomenon, Triple, Value,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,6 +39,47 @@ pub struct Corpus {
     pub extractors: Vec<ExtractorSpec>,
     /// The seed the corpus was generated from.
     pub seed: u64,
+    /// Injected hostile-scenario ground truth (all-empty for an honest
+    /// corpus). Persisted with the corpus so scenario gates can run on
+    /// checkpoint snapshots.
+    pub scenario: ScenarioTruth,
+}
+
+/// The per-phenomenon ground truth a hostile corpus carries: exactly what
+/// the scenario generators injected, so the scenario matrix measures
+/// method degradation against recorded fact rather than assumption.
+///
+/// Defaults to all-empty; [`Corpus::scenario_truth`] derives the
+/// per-triple phenomenon join consumed by `kf-diagnose`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioTruth {
+    /// Indices into `batch.records` of records emitted by a copier
+    /// replicating its source extractor, ascending.
+    pub copied_records: Vec<u32>,
+    /// Spam targets: `(item, wrong value)` pushed by the spam campaign,
+    /// sorted by item.
+    pub spam: Vec<(DataItem, Value)>,
+    /// First spam page id (pages `spam_page_start..` are spam; only
+    /// meaningful when `spam` is non-empty).
+    pub spam_page_start: u32,
+    /// Drifted items and their stale pre-flip values, sorted by item.
+    pub drift: Vec<(DataItem, Value)>,
+    /// Pages with id below this claimed the stale value (0 when drift is
+    /// inactive).
+    pub drift_flip_page: u32,
+    /// Whether the hard-linkage scenario was active (inflated confusable
+    /// ring and/or boosted linkage error weights).
+    pub linkage_boosted: bool,
+}
+
+impl ScenarioTruth {
+    /// True when no scenario injected anything.
+    pub fn is_empty(&self) -> bool {
+        self.copied_records.is_empty()
+            && self.spam.is_empty()
+            && self.drift.is_empty()
+            && !self.linkage_boosted
+    }
 }
 
 impl Corpus {
@@ -51,18 +95,51 @@ impl Corpus {
         extractors: Vec<ExtractorSpec>,
         seed: u64,
     ) -> Corpus {
-        let world = World::generate(&cfg.world, seed);
-        let web = Web::generate(&world, &cfg.web, seed);
+        let sc = &cfg.scenarios;
+        let world =
+            World::generate_with_confusable_ring(&cfg.world, sc.linkage.confusable_ring, seed);
+        let (web, injection) = Web::generate_with_scenarios(&world, &cfg.web, sc, seed);
         let gold = build_gold(&world, &cfg.gold, seed);
+
+        // Hard linkage: scale every extractor's linkage error weights (the
+        // corruption sampler normalizes, so composition shifts toward
+        // linkage mistakes without raising the total error rate).
+        let linkage_boosted = sc.linkage.confusable_ring > 2 || sc.linkage.error_boost > 1.0;
+        let extractors: Vec<ExtractorSpec> = if sc.linkage.error_boost > 1.0 {
+            extractors
+                .into_iter()
+                .map(|mut spec| {
+                    spec.profile.entity_linkage *= sc.linkage.error_boost;
+                    spec.profile.predicate_linkage *= sc.linkage.error_boost;
+                    spec
+                })
+                .collect()
+        } else {
+            extractors
+        };
+
+        let copying = sc.copying.dependence > 0.0;
+        let dependence = sc.copying.dependence.clamp(0.0, 1.0);
 
         let mut batch = ExtractionBatch::new();
         let mut sections = Vec::new();
         let mut outcomes = Vec::new();
+        let mut copied_records: Vec<u32> = Vec::new();
+
+        // Copying scratch: the source (even-indexed) extractor's per-claim
+        // output on the current page, consumed by the copier one index up.
+        let mut source_sims: Vec<Option<SimulatedExtraction>> = Vec::new();
 
         for page in &web.pages {
             let class = Web::site_class(page.site, web.n_sites);
+            let mut source_from = usize::MAX;
             for (ex_index, spec) in extractors.iter().enumerate() {
                 let ex_id = ExtractorId(ex_index as u16);
+                let is_source = copying && ex_index % 2 == 0;
+                if is_source {
+                    // A source that skips the page leaves nothing to copy.
+                    source_from = usize::MAX;
+                }
                 if !spec.site_filter.admits(class) {
                     continue;
                 }
@@ -75,10 +152,52 @@ impl Corpus {
                 if !rng.gen_bool(spec.page_coverage) {
                     continue;
                 }
-                for claim in &page.claims {
+                if is_source {
+                    source_sims.clear();
+                    source_sims.resize(page.claims.len(), None);
+                    source_from = ex_index;
+                }
+                // The copier's dedicated rng keeps copy decisions out of
+                // the extraction stream (same salt shape as the
+                // per-(page, extractor) rng, distinct stream).
+                let mut copy_rng = (copying && ex_index % 2 == 1 && source_from == ex_index - 1)
+                    .then(|| {
+                        SmallRng::seed_from_u64(hash::hash_u64(
+                            seed ^ 0xc0b1_ed0f_f51e_57a1
+                                ^ ((page.id.raw() as u64) << 16)
+                                ^ ex_index as u64,
+                        ))
+                    });
+                for (ci, claim) in page.claims.iter().enumerate() {
+                    if let Some(crng) = copy_rng.as_mut() {
+                        if let Some(src) = source_sims[ci] {
+                            if crng.gen_bool(dependence) {
+                                // Replicate the source's record wholesale —
+                                // triple, pattern, confidence, outcome —
+                                // under the copier's identity.
+                                copied_records.push(batch.len() as u32);
+                                batch.push(Extraction {
+                                    triple: src.triple,
+                                    provenance: Provenance::new(
+                                        ex_id,
+                                        page.id,
+                                        page.site,
+                                        src.pattern,
+                                    ),
+                                    confidence: src.confidence,
+                                });
+                                sections.push(claim.section);
+                                outcomes.push(src.outcome);
+                                continue;
+                            }
+                        }
+                    }
                     let Some(sim) = spec.extract(ex_id, &world, claim, page.site, &mut rng) else {
                         continue;
                     };
+                    if is_source {
+                        source_sims[ci] = Some(sim);
+                    }
                     let prov = Provenance::new(ex_id, page.id, page.site, sim.pattern);
                     batch.push(Extraction {
                         triple: sim.triple,
@@ -91,6 +210,22 @@ impl Corpus {
             }
         }
 
+        if copying {
+            kf_telemetry::add("synth.scenario.copied_records", copied_records.len() as u64);
+        }
+        if linkage_boosted {
+            kf_telemetry::add("synth.scenario.confusables", world.n_confusables() as u64);
+        }
+
+        let scenario = ScenarioTruth {
+            copied_records,
+            spam: injection.spam,
+            spam_page_start: injection.spam_page_start,
+            drift: injection.drift,
+            drift_flip_page: injection.drift_flip_page,
+            linkage_boosted,
+        };
+
         Corpus {
             world,
             web,
@@ -100,6 +235,7 @@ impl Corpus {
             outcomes,
             extractors,
             seed,
+            scenario,
         }
     }
 
@@ -193,6 +329,55 @@ impl Corpus {
                 (t, cat)
             })
             .collect()
+    }
+
+    /// The per-triple scenario-phenomenon join: which injected hostile
+    /// phenomenon, if any, produced each unique triple. This is the
+    /// ground-truth side of the scenario matrix — `kf-diagnose` joins it
+    /// against a method's false positives so measured degradation traces
+    /// back to what was actually injected.
+    ///
+    /// Precedence for triples touched by several phenomena (later inserts
+    /// win): linkage < copied < drift < spam — the more targeted injection
+    /// owns the triple. Linkage only joins when the linkage scenario was
+    /// active; the honest corpus's background linkage noise is not a
+    /// scenario phenomenon. Empty for an honest corpus.
+    pub fn scenario_truth(&self) -> kf_types::FxHashMap<Triple, ScenarioPhenomenon> {
+        let mut truth: kf_types::FxHashMap<Triple, ScenarioPhenomenon> =
+            kf_types::FxHashMap::default();
+        if self.scenario.is_empty() {
+            return truth;
+        }
+        if self.scenario.linkage_boosted {
+            for (triple, outcome) in self.dominant_outcomes() {
+                if matches!(
+                    outcome,
+                    ExtractionOutcome::EntityLinkageError
+                        | ExtractionOutcome::PredicateLinkageError
+                ) {
+                    truth.insert(triple, ScenarioPhenomenon::Linkage);
+                }
+            }
+        }
+        for &i in &self.scenario.copied_records {
+            truth.insert(
+                self.batch.records[i as usize].triple,
+                ScenarioPhenomenon::Copied,
+            );
+        }
+        for &(item, stale) in &self.scenario.drift {
+            truth.insert(
+                Triple::new(item.subject, item.predicate, stale),
+                ScenarioPhenomenon::Drift,
+            );
+        }
+        for &(item, value) in &self.scenario.spam {
+            truth.insert(
+                Triple::new(item.subject, item.predicate, value),
+                ScenarioPhenomenon::Spam,
+            );
+        }
+        truth
     }
 
     /// Overall extraction accuracy against the gold standard under LCWA

@@ -34,8 +34,11 @@ pub mod stats;
 pub mod web;
 pub mod world;
 
-pub use config::{GoldConfig, SynthConfig, WebConfig, WorldConfig};
-pub use corpus::Corpus;
+pub use config::{
+    CopyingConfig, DriftConfig, GoldConfig, LinkageConfig, ScenarioConfig, SpamConfig, SynthConfig,
+    WebConfig, WorldConfig,
+};
+pub use corpus::{Corpus, ScenarioTruth};
 pub use extractor::{
     default_extractors, ConfidenceModel, ErrorProfile, ExtractionOutcome, ExtractorSpec, SiteFilter,
 };

@@ -20,7 +20,7 @@
 //! snapshots to keep it that way. Writes are atomic (temp file + rename),
 //! so a killed process never leaves a truncated checkpoint that parses.
 
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, ScenarioTruth};
 use crate::extractor::{ExtractionOutcome, ExtractorSpec};
 use crate::web::{ContentType, Web};
 use crate::world::World;
@@ -29,8 +29,9 @@ use kf_types::{codec, ExtractionBatch, GoldStandard, KvCodec};
 use std::path::Path;
 
 /// The corpus encodes as six length-prefixed segments (world, web, gold,
-/// batch, sections, outcomes) followed by the small extractor list and
-/// the seed. Segments let [`Corpus::decode`] rebuild the expensive parts
+/// batch, sections, outcomes) followed by the small extractor list, the
+/// seed and the hostile-scenario ground truth (format version 4; empty
+/// for honest corpora). Segments let [`Corpus::decode`] rebuild the expensive parts
 /// on parallel threads — the reason checkpoint loads beat regeneration by
 /// the ≥ 5× the `corpus/load` bench asserts — without changing the bytes:
 /// encoding stays sequential, deterministic and canonical.
@@ -63,6 +64,7 @@ impl KvCodec for Corpus {
         segment_done("persist.enc.outcomes_bytes", out);
         self.extractors.encode(out);
         self.seed.encode(out);
+        self.scenario.encode(out);
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
@@ -83,6 +85,7 @@ impl KvCodec for Corpus {
         }
         let extractors = Vec::<ExtractorSpec>::decode(input)?;
         let seed = u64::decode(input)?;
+        let scenario = ScenarioTruth::decode(input)?;
 
         // A `Vec<u8>` encodes to the same bytes as a `u8` column, so the
         // tag vectors decode as one contiguous block each.
@@ -150,6 +153,7 @@ impl KvCodec for Corpus {
             outcomes: outcomes?,
             extractors,
             seed,
+            scenario,
         };
         // The section/outcome vectors are parallel to the batch; a
         // checkpoint violating that would poison every consumer.
@@ -158,7 +162,44 @@ impl KvCodec for Corpus {
         {
             return None;
         }
+        // Copied-record indices must address the batch, ascending.
+        if !corpus
+            .scenario
+            .copied_records
+            .windows(2)
+            .all(|w| w[0] < w[1])
+            || corpus
+                .scenario
+                .copied_records
+                .last()
+                .is_some_and(|&i| i as usize >= corpus.batch.len())
+        {
+            return None;
+        }
         Some(corpus)
+    }
+}
+
+/// Scenario ground truth travels field-ordered; the spam/drift vectors
+/// are sorted at generation time, so the bytes stay canonical.
+impl KvCodec for ScenarioTruth {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.copied_records.encode(out);
+        self.spam.encode(out);
+        self.spam_page_start.encode(out);
+        self.drift.encode(out);
+        self.drift_flip_page.encode(out);
+        self.linkage_boosted.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ScenarioTruth {
+            copied_records: Vec::decode(input)?,
+            spam: Vec::decode(input)?,
+            spam_page_start: u32::decode(input)?,
+            drift: Vec::decode(input)?,
+            drift_flip_page: u32::decode(input)?,
+            linkage_boosted: bool::decode(input)?,
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! value) are injected here, including "popular" wrong values shared across
 //! pages to model copying / widespread misinformation (§5.2).
 
-use crate::config::WebConfig;
+use crate::config::{ScenarioConfig, WebConfig};
 use crate::world::World;
 use kf_types::{hash, DataItem, EntityId, FxHashMap, PageId, SiteId, Value};
 use rand::rngs::SmallRng;
@@ -130,7 +130,46 @@ impl Web {
 
     /// Generate the web from the world, deterministically from `seed`.
     pub fn generate(world: &World, cfg: &WebConfig, seed: u64) -> Self {
+        Self::generate_with_scenarios(world, cfg, &ScenarioConfig::default(), seed).0
+    }
+
+    /// [`Web::generate`] plus the hostile-corpus scenarios that live at
+    /// the web layer — source spam and temporal drift — returning the
+    /// injected ground truth alongside the web. With a default
+    /// [`ScenarioConfig`] this takes exactly the honest generator's code
+    /// paths (no extra rng draws) and the injection is empty.
+    pub fn generate_with_scenarios(
+        world: &World,
+        cfg: &WebConfig,
+        scenarios: &ScenarioConfig,
+        seed: u64,
+    ) -> (Self, WebInjection) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+
+        // Temporal drift: a hash-chosen fraction of items flipped truth at
+        // `position`; pages before the flip claim a deterministic stale
+        // value. Selection and stale-value minting are hash-seeded so the
+        // organic rng stream is untouched.
+        let drift_active = scenarios.drift.fraction > 0.0;
+        let drift_flip = (scenarios.drift.position.clamp(0.0, 1.0) * cfg.n_pages as f64) as u32;
+        let mut drift_map: FxHashMap<DataItem, Value> = FxHashMap::default();
+        let mut drift_sorted: Vec<(DataItem, Value)> = Vec::new();
+        if drift_active {
+            let fraction = scenarios.drift.fraction.clamp(0.0, 1.0);
+            for &item in world.items() {
+                let h = hash::hash_u64(item.encode() ^ seed ^ 0xd81f_7c0a_11ce_55aa);
+                if ((h % 1_000_000) as f64) < fraction * 1e6 {
+                    let mut irng = SmallRng::seed_from_u64(hash::hash_u64(
+                        item.encode() ^ seed ^ 0x5707_a1b2_c3d4_e5f6,
+                    ));
+                    let stale = wrong_value(world, item, &mut irng);
+                    drift_map.insert(item, stale);
+                    drift_sorted.push((item, stale));
+                }
+            }
+            drift_sorted.sort_unstable_by_key(|&(item, _)| item);
+        }
+        let mut drift_stale_claims = 0u64;
 
         // Per-entity item index for topical page generation.
         let mut items_by_entity: FxHashMap<EntityId, Vec<DataItem>> = FxHashMap::default();
@@ -225,19 +264,31 @@ impl Web {
                 let truths = world.truths(&item);
                 debug_assert!(!truths.is_empty());
 
-                // Source-level error injection.
-                let source_error = rng.gen_bool(cfg.source_error_rate);
-                let value = if source_error {
-                    if rng.gen_bool(cfg.copied_error_rate) {
-                        popular_false
-                            .get(&item)
-                            .copied()
-                            .unwrap_or_else(|| wrong_value(world, item, &mut rng))
-                    } else {
-                        wrong_value(world, item, &mut rng)
-                    }
+                // Temporal drift: before the flip, pages claim the stale
+                // pre-flip value — a source error, since the world holds
+                // the current truth.
+                let stale = (!drift_map.is_empty() && (pid as u32) < drift_flip)
+                    .then(|| drift_map.get(&item))
+                    .flatten();
+                let (value, source_error) = if let Some(&stale) = stale {
+                    drift_stale_claims += 1;
+                    (stale, true)
                 } else {
-                    *truths.choose(&mut rng).expect("non-empty truths")
+                    // Source-level error injection.
+                    let source_error = rng.gen_bool(cfg.source_error_rate);
+                    let value = if source_error {
+                        if rng.gen_bool(cfg.copied_error_rate) {
+                            popular_false
+                                .get(&item)
+                                .copied()
+                                .unwrap_or_else(|| wrong_value(world, item, &mut rng))
+                        } else {
+                            wrong_value(world, item, &mut rng)
+                        }
+                    } else {
+                        *truths.choose(&mut rng).expect("non-empty truths")
+                    };
+                    (value, source_error)
                 };
 
                 let section = *sections.choose(&mut rng).expect("non-empty sections");
@@ -252,6 +303,9 @@ impl Web {
                 if sections.len() > 1 && rng.gen_bool(0.04) {
                     let other = *sections.choose(&mut rng).expect("non-empty sections");
                     if other != section {
+                        if stale.is_some() {
+                            drift_stale_claims += 1;
+                        }
                         claims.push(Claim {
                             item,
                             value,
@@ -269,12 +323,106 @@ impl Web {
             });
         }
 
-        Web {
-            pages,
-            n_sites: cfg.n_sites,
-            popular_false,
+        // Source spam: append low-quality pages on fresh (General-class)
+        // sites, each pushing the same wrong voice per hash-chosen target
+        // item. Target selection and wrong-value minting are deterministic
+        // and independent of the organic rng stream.
+        let mut n_sites = cfg.n_sites;
+        let spam_page_start = pages.len() as u32;
+        let mut spam_sorted: Vec<(DataItem, Value)> = Vec::new();
+        if scenarios.spam.n_pages > 0 {
+            let sp = &scenarios.spam;
+            let mut ranked: Vec<(u64, DataItem)> = world
+                .items()
+                .iter()
+                .map(|&item| {
+                    (
+                        hash::hash_u64(item.encode() ^ seed ^ 0x09a4_42dd_31f0_7b2c),
+                        item,
+                    )
+                })
+                .collect();
+            ranked.sort_unstable();
+            let n_items = sp.n_items.clamp(1, ranked.len());
+            ranked.truncate(n_items);
+            let mut srng = SmallRng::seed_from_u64(hash::hash_u64(seed ^ 0x6c62_272e_07bb_0142));
+            let mut targets: Vec<(DataItem, Value)> = ranked
+                .into_iter()
+                .map(|(_, item)| {
+                    let wrong = popular_false
+                        .get(&item)
+                        .copied()
+                        .unwrap_or_else(|| wrong_value(world, item, &mut srng));
+                    (item, wrong)
+                })
+                .collect();
+            let claims_per_page = sp.claims_per_page.max(1);
+            let spam_sites = sp.n_sites.max(1);
+            for i in 0..sp.n_pages {
+                let site = SiteId::from_index(cfg.n_sites + (i % spam_sites));
+                let mut claims = Vec::with_capacity(claims_per_page);
+                for j in 0..claims_per_page {
+                    let (item, value) = targets[(i * claims_per_page + j) % targets.len()];
+                    claims.push(Claim {
+                        item,
+                        value,
+                        section: ContentType::Dom,
+                        source_error: true,
+                    });
+                }
+                pages.push(Page {
+                    id: PageId::from_index(cfg.n_pages + i),
+                    site,
+                    claims,
+                });
+            }
+            n_sites = cfg.n_sites + spam_sites;
+            targets.sort_unstable_by_key(|&(item, _)| item);
+            spam_sorted = targets;
+            kf_telemetry::add("synth.scenario.spam_pages", sp.n_pages as u64);
+            kf_telemetry::add(
+                "synth.scenario.spam_claims",
+                (sp.n_pages * claims_per_page) as u64,
+            );
         }
+        if drift_active {
+            kf_telemetry::add("synth.scenario.drift_items", drift_sorted.len() as u64);
+            kf_telemetry::add("synth.scenario.drift_stale_claims", drift_stale_claims);
+        }
+
+        let injection = WebInjection {
+            spam: spam_sorted,
+            spam_page_start,
+            drift: drift_sorted,
+            drift_flip_page: if drift_active { drift_flip } else { 0 },
+        };
+        (
+            Web {
+                pages,
+                n_sites,
+                popular_false,
+            },
+            injection,
+        )
     }
+}
+
+/// Web-layer scenario ground truth, returned by
+/// [`Web::generate_with_scenarios`] and folded into the corpus-level
+/// `ScenarioTruth`. Empty (all-default) when no web scenario is active.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WebInjection {
+    /// Spam targets: `(item, wrong value)` pushed by the spam pages,
+    /// sorted by item.
+    pub spam: Vec<(DataItem, Value)>,
+    /// First spam page id; pages `spam_page_start..` are spam (only
+    /// meaningful when `spam` is non-empty).
+    pub spam_page_start: u32,
+    /// Drifted items and their stale pre-flip values, sorted by item.
+    pub drift: Vec<(DataItem, Value)>,
+    /// Pages with id below this claimed the stale value (0 when drift is
+    /// inactive).
+    pub drift_flip_page: u32,
 }
 
 // ---- KvCodec impls (corpus checkpointing; see `crate::persist`) ----------

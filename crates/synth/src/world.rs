@@ -50,6 +50,16 @@ pub struct World {
 impl World {
     /// Generate a world from `cfg`, deterministically from `seed`.
     pub fn generate(cfg: &WorldConfig, seed: u64) -> Self {
+        Self::generate_with_confusable_ring(cfg, 2, seed)
+    }
+
+    /// [`World::generate`] with an inflated confusable surface: entities
+    /// are grouped into rings of `ring` (≥ 2) within each type, each
+    /// mapping to the next ring member. `ring = 2` is the honest world's
+    /// symmetric pairing — byte-identical to [`World::generate`]. The
+    /// hard-linkage scenario (`LinkageConfig::confusable_ring`) drives
+    /// larger rings.
+    pub fn generate_with_confusable_ring(cfg: &WorldConfig, ring: usize, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut catalog = Catalog::new();
 
@@ -140,12 +150,18 @@ impl World {
         // ---- Confusables ---------------------------------------------------
         // Pair up entities within a type: linkage errors map an entity to
         // its confusable partner ("Les Misérables the show" vs "the novel").
+        // A ring of 2 is exactly the historical symmetric pairing (a → b,
+        // b → a, lone trailing entity unpaired); larger rings chain the
+        // confusions (a → b → c → a) for the hard-linkage scenario.
+        let ring = ring.max(2);
         let mut confusables = FxHashMap::default();
         for ents in &entities_by_type {
-            for pair in ents.chunks(2) {
-                if let [a, b] = pair {
-                    confusables.insert(*a, *b);
-                    confusables.insert(*b, *a);
+            for group in ents.chunks(ring) {
+                if group.len() < 2 {
+                    continue;
+                }
+                for (i, &e) in group.iter().enumerate() {
+                    confusables.insert(e, group[(i + 1) % group.len()]);
                 }
             }
         }
@@ -323,6 +339,12 @@ impl World {
     /// The confusable partner of an entity, if any.
     pub fn confusable(&self, e: EntityId) -> Option<EntityId> {
         self.confusables.get(&e).copied()
+    }
+
+    /// Number of entities with a confusable partner (the size of the
+    /// confusable surface; inflated by the hard-linkage scenario).
+    pub fn n_confusables(&self) -> usize {
+        self.confusables.len()
     }
 
     /// The sibling predicate, if any.

@@ -4,7 +4,10 @@
 //! scored against — and the encoding must be canonical (same logical
 //! corpus ⇒ same bytes, regardless of which process encodes it).
 
-use kf_synth::{Corpus, SynthConfig, WebConfig, WorldConfig};
+use kf_synth::{
+    CopyingConfig, Corpus, DriftConfig, LinkageConfig, ScenarioConfig, SpamConfig, SynthConfig,
+    WebConfig, WorldConfig,
+};
 use kf_types::KvCodec;
 use proptest::prelude::*;
 
@@ -38,6 +41,41 @@ fn arb_config() -> impl Strategy<Value = SynthConfig> {
                         ..WebConfig::default()
                     },
                     ..SynthConfig::tiny()
+                }
+            },
+        )
+}
+
+/// Hostile-scenario knob combinations, from all-off to fully hostile —
+/// the checkpoint must carry the injected ground truth through
+/// `load(save(corpus))` for every mix of active phenomena.
+fn arb_scenarios() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        prop_oneof![Just(0.0f64), 0.2f64..1.0],
+        prop_oneof![Just(0usize), 5usize..40],
+        prop_oneof![Just(0.0f64), 0.05f64..0.4],
+        0.2f64..0.8,
+        prop_oneof![Just(2usize), 3usize..8],
+        prop_oneof![Just(1.0f64), 1.5f64..5.0],
+    )
+        .prop_map(
+            |(dependence, spam_pages, drift_fraction, drift_position, ring, boost)| {
+                ScenarioConfig {
+                    copying: CopyingConfig { dependence },
+                    spam: SpamConfig {
+                        n_pages: spam_pages,
+                        n_items: 12,
+                        claims_per_page: 3,
+                        n_sites: 4,
+                    },
+                    drift: DriftConfig {
+                        fraction: drift_fraction,
+                        position: drift_position,
+                    },
+                    linkage: LinkageConfig {
+                        confusable_ring: ring,
+                        error_boost: boost,
+                    },
                 }
             },
         )
@@ -80,5 +118,49 @@ proptest! {
         let mut third = Vec::new();
         regenerated.encode(&mut third);
         prop_assert!(first == third, "same-seed encode differs (seed {})", seed);
+    }
+
+    /// Hostile corpora persist exactly: the scenario ground-truth segment
+    /// (copied record indices, spam voices, drift flips, linkage flag)
+    /// survives `load(save(corpus))`, as does the derived
+    /// `scenario_truth` join the matrix harness scores against — across
+    /// every mix of active phenomena, including all-off.
+    #[test]
+    fn scenario_truth_roundtrips_through_persistence(
+        scenarios in arb_scenarios(),
+        seed in 0u64..500,
+    ) {
+        let cfg = SynthConfig { scenarios, ..SynthConfig::tiny() };
+        let corpus = Corpus::generate(&cfg, seed);
+        let mut buf = Vec::new();
+        corpus.encode(&mut buf);
+        let back = Corpus::decode(&mut &buf[..]).expect("roundtrip decodes");
+        prop_assert!(back.scenario == corpus.scenario, "scenario truth differs (seed {})", seed);
+        prop_assert!(back == corpus, "decoded corpus differs (seed {})", seed);
+        prop_assert_eq!(back.scenario_truth(), corpus.scenario_truth());
+        // The persisted flag agrees with the config that generated it.
+        prop_assert_eq!(corpus.scenario.is_empty(), !cfg.scenarios.any_active());
+    }
+}
+
+/// The scenario segment rode in on checkpoint format version 4: a reader
+/// of this build must refuse a file stamped with the pre-scenario version
+/// (3) — or any other foreign version — with a typed skew error naming
+/// the found version, never a silent misparse of the new trailing bytes.
+#[test]
+fn pre_scenario_format_version_is_rejected_with_typed_skew() {
+    use kf_types::checkpoint::{self, ArtifactKind, CheckpointError, FORMAT_VERSION};
+    assert_eq!(
+        FORMAT_VERSION, 4,
+        "scenario segment shipped in v4; bump this test alongside the format"
+    );
+    let corpus = Corpus::generate(&SynthConfig::tiny(), 7);
+    let mut bytes = checkpoint::encode(ArtifactKind::Corpus, &corpus);
+    for stale in [3u16, 2, 1] {
+        bytes[4..6].copy_from_slice(&stale.to_le_bytes());
+        match checkpoint::decode::<Corpus>(ArtifactKind::Corpus, &bytes) {
+            Err(CheckpointError::VersionSkew { found }) => assert_eq!(found, stale),
+            other => panic!("version {stale} must skew, got {other:?}"),
+        }
     }
 }

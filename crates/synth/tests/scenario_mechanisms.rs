@@ -1,0 +1,376 @@
+//! Mechanism tests for the four hostile-corpus scenarios: each one
+//! asserts, against the generator's own injected ground truth, that the
+//! corresponding knob actually produced the phenomenon it claims —
+//! copiers replicate source records, spam pages push the recorded wrong
+//! voice, pre-flip pages claim the stale drift value, and linkage knobs
+//! inflate the confusable surface — plus the counter-vs-truth telemetry
+//! consistency gate.
+
+use kf_synth::{
+    CopyingConfig, Corpus, DriftConfig, LinkageConfig, ScenarioConfig, SpamConfig, SynthConfig,
+};
+use kf_types::{FxHashMap, FxHashSet, ScenarioPhenomenon, Triple};
+
+const SEED: u64 = 42;
+
+fn tiny_with(scenarios: ScenarioConfig) -> SynthConfig {
+    SynthConfig {
+        scenarios,
+        ..SynthConfig::tiny()
+    }
+}
+
+#[test]
+fn copying_replicates_source_records_under_the_copier_identity() {
+    let cfg = tiny_with(ScenarioConfig {
+        copying: CopyingConfig { dependence: 1.0 },
+        ..Default::default()
+    });
+    let corpus = Corpus::generate(&cfg, SEED);
+    let copied = &corpus.scenario.copied_records;
+    assert!(!copied.is_empty(), "full dependence must copy something");
+    assert!(
+        copied.windows(2).all(|w| w[0] < w[1]),
+        "copied indices are strictly ascending"
+    );
+
+    // Index every record by (triple, page, extractor, pattern, confidence
+    // bits) so each copied record can be matched against a source
+    // original one extractor index down.
+    let key = |i: usize| {
+        let e = &corpus.batch.records[i];
+        (
+            e.triple,
+            e.provenance.page,
+            e.provenance.extractor.raw(),
+            e.provenance.pattern,
+            e.confidence.map(f32::to_bits),
+        )
+    };
+    let all: FxHashSet<_> = (0..corpus.batch.len()).map(key).collect();
+    let copied_set: FxHashSet<u32> = copied.iter().copied().collect();
+    for &i in copied {
+        let (triple, page, ext, pattern, conf) = key(i as usize);
+        assert_eq!(ext % 2, 1, "copiers are the odd-indexed extractors");
+        assert!(
+            all.contains(&(triple, page, ext - 1, pattern, conf)),
+            "record {i} has no source original on the same page"
+        );
+        // The copied outcome is the source's, not a fresh draw.
+        assert_eq!(
+            corpus.outcomes[i as usize],
+            corpus.outcomes[(0..corpus.batch.len())
+                .find(|&j| !copied_set.contains(&(j as u32))
+                    && key(j) == (triple, page, ext - 1, pattern, conf))
+                .expect("source record exists")],
+            "copied record {i} must carry the source's outcome"
+        );
+    }
+    // The injected truth join tags every copied triple.
+    let truth = corpus.scenario_truth();
+    for &i in copied {
+        let t = corpus.batch.records[i as usize].triple;
+        assert!(
+            truth.contains_key(&t),
+            "copied triple missing from scenario_truth"
+        );
+    }
+}
+
+#[test]
+fn spam_pages_push_the_recorded_wrong_voice_on_fresh_sites() {
+    let honest = Corpus::generate(&SynthConfig::tiny(), SEED);
+    let cfg = tiny_with(ScenarioConfig {
+        spam: SpamConfig {
+            n_pages: 40,
+            n_items: 10,
+            claims_per_page: 4,
+            n_sites: 6,
+        },
+        ..Default::default()
+    });
+    let corpus = Corpus::generate(&cfg, SEED);
+
+    assert_eq!(
+        corpus.web.pages.len(),
+        honest.web.pages.len() + 40,
+        "spam pages append after the organic web"
+    );
+    assert_eq!(
+        corpus.scenario.spam_page_start as usize,
+        honest.web.pages.len()
+    );
+    assert_eq!(corpus.web.n_sites, honest.web.n_sites + 6);
+    assert_eq!(corpus.scenario.spam.len(), 10);
+
+    // The organic prefix is byte-identically the honest web.
+    for (a, b) in corpus.web.pages.iter().zip(&honest.web.pages) {
+        assert_eq!(a, b, "organic page changed under the spam scenario");
+    }
+
+    let voice: FxHashMap<_, _> = corpus.scenario.spam.iter().copied().collect();
+    for page in &corpus.web.pages[corpus.scenario.spam_page_start as usize..] {
+        assert!(
+            page.site.index() >= honest.web.n_sites,
+            "spam lives on fresh sites"
+        );
+        for claim in &page.claims {
+            assert!(claim.source_error, "spam claims are source errors");
+            assert_eq!(
+                voice.get(&claim.item),
+                Some(&claim.value),
+                "spam claim deviates from the recorded wrong voice"
+            );
+            assert!(
+                !corpus.world.truths(&claim.item).contains(&claim.value),
+                "the spam voice must be world-false"
+            );
+        }
+    }
+
+    // Every spam target joins to the Spam phenomenon.
+    let truth = corpus.scenario_truth();
+    for &(item, value) in &corpus.scenario.spam {
+        let t = Triple::new(item.subject, item.predicate, value);
+        assert_eq!(truth.get(&t), Some(&ScenarioPhenomenon::Spam));
+    }
+}
+
+#[test]
+fn drift_claims_the_stale_value_only_before_the_flip() {
+    let cfg = tiny_with(ScenarioConfig {
+        drift: DriftConfig {
+            fraction: 0.3,
+            position: 0.5,
+        },
+        ..Default::default()
+    });
+    let corpus = Corpus::generate(&cfg, SEED);
+    let flip = corpus.scenario.drift_flip_page;
+    assert_eq!(flip, (0.5 * cfg.web.n_pages as f64) as u32);
+    assert!(
+        !corpus.scenario.drift.is_empty(),
+        "a 30% fraction must drift some items"
+    );
+
+    let stale: FxHashMap<_, _> = corpus.scenario.drift.iter().copied().collect();
+    let mut pre_flip_stale = 0usize;
+    for page in &corpus.web.pages {
+        for claim in &page.claims {
+            let Some(&s) = stale.get(&claim.item) else {
+                continue;
+            };
+            assert!(
+                !corpus.world.truths(&claim.item).contains(&s),
+                "the stale value must contradict the post-flip world"
+            );
+            if page.id.raw() < flip {
+                assert_eq!(claim.value, s, "pre-flip pages claim the stale value");
+                assert!(claim.source_error, "stale claims are source errors");
+                pre_flip_stale += 1;
+            } else {
+                // Post-flip pages follow the honest generator; they can
+                // still be wrong (source error) but never the stale value.
+                assert_ne!(
+                    claim.value, s,
+                    "post-flip pages must not resurrect the stale value"
+                );
+            }
+        }
+    }
+    assert!(
+        pre_flip_stale > 0,
+        "no pre-flip page mentioned a drifted item"
+    );
+
+    let truth = corpus.scenario_truth();
+    for &(item, s) in &corpus.scenario.drift {
+        let t = Triple::new(item.subject, item.predicate, s);
+        assert_eq!(truth.get(&t), Some(&ScenarioPhenomenon::Drift));
+    }
+}
+
+#[test]
+fn linkage_knobs_inflate_confusables_and_linkage_error_mass() {
+    use kf_synth::ExtractionOutcome;
+    let honest = Corpus::generate(&SynthConfig::tiny(), SEED);
+    let cfg = tiny_with(ScenarioConfig {
+        linkage: LinkageConfig {
+            confusable_ring: 6,
+            error_boost: 4.0,
+        },
+        ..Default::default()
+    });
+    let corpus = Corpus::generate(&cfg, SEED);
+    assert!(corpus.scenario.linkage_boosted);
+    // The honest world pairs confusables symmetrically (following the
+    // link twice returns home); a ring of 6 chains them, so somewhere the
+    // round trip must fail — that asymmetry is what makes larger rings
+    // *harder* linkage, not a bigger map.
+    let round_trip_breaks = |c: &Corpus| {
+        c.world.items().iter().any(|item| {
+            c.world.confusable(item.subject).is_some_and(|next| {
+                c.world
+                    .confusable(next)
+                    .is_some_and(|back| back != item.subject)
+            })
+        })
+    };
+    assert!(
+        !round_trip_breaks(&honest),
+        "honest confusables must stay symmetric pairs"
+    );
+    assert!(
+        round_trip_breaks(&corpus),
+        "ring size 6 must chain confusables beyond symmetric pairs"
+    );
+
+    let linkage_share = |c: &Corpus| {
+        let n = c
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    ExtractionOutcome::EntityLinkageError
+                        | ExtractionOutcome::PredicateLinkageError
+                )
+            })
+            .count();
+        n as f64 / c.outcomes.len() as f64
+    };
+    assert!(
+        linkage_share(&corpus) > 1.25 * linkage_share(&honest),
+        "a 4x error boost must visibly shift error composition toward linkage: {} vs {}",
+        linkage_share(&corpus),
+        linkage_share(&honest)
+    );
+
+    // Linkage-dominant triples join to the Linkage phenomenon.
+    let truth = corpus.scenario_truth();
+    assert!(
+        truth.values().any(|&p| p == ScenarioPhenomenon::Linkage),
+        "no triple joined to the linkage phenomenon"
+    );
+}
+
+/// Satellite: every `synth.scenario.*` counter equals the quantity the
+/// persisted ground truth records — the counters are observability over
+/// the same facts, never an independent estimate.
+#[test]
+fn scenario_counters_agree_with_injected_ground_truth() {
+    let cfg = tiny_with(ScenarioConfig {
+        copying: CopyingConfig { dependence: 0.5 },
+        spam: SpamConfig {
+            n_pages: 25,
+            n_items: 8,
+            claims_per_page: 3,
+            n_sites: 5,
+        },
+        drift: DriftConfig {
+            fraction: 0.2,
+            position: 0.4,
+        },
+        linkage: LinkageConfig {
+            confusable_ring: 4,
+            error_boost: 2.0,
+        },
+    });
+    let trace = kf_telemetry::Trace::new();
+    let corpus = {
+        let _t = kf_telemetry::install(&trace);
+        Corpus::generate(&cfg, SEED)
+    };
+    let report = trace.snapshot();
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .value
+    };
+
+    assert_eq!(
+        counter("synth.scenario.copied_records"),
+        corpus.scenario.copied_records.len() as u64
+    );
+    assert_eq!(counter("synth.scenario.spam_pages"), 25);
+    let spam_claims: usize = corpus.web.pages[corpus.scenario.spam_page_start as usize..]
+        .iter()
+        .map(|p| p.claims.len())
+        .sum();
+    assert_eq!(counter("synth.scenario.spam_claims"), spam_claims as u64);
+    assert_eq!(
+        counter("synth.scenario.drift_items"),
+        corpus.scenario.drift.len() as u64
+    );
+    let stale: FxHashMap<_, _> = corpus.scenario.drift.iter().copied().collect();
+    let stale_claims = corpus.web.pages[..corpus.scenario.spam_page_start as usize]
+        .iter()
+        .filter(|p| p.id.raw() < corpus.scenario.drift_flip_page)
+        .flat_map(|p| &p.claims)
+        .filter(|c| stale.get(&c.item) == Some(&c.value))
+        .count();
+    assert_eq!(
+        counter("synth.scenario.drift_stale_claims"),
+        stale_claims as u64
+    );
+    assert_eq!(
+        counter("synth.scenario.confusables"),
+        corpus.world.n_confusables() as u64
+    );
+}
+
+/// Phenomenon precedence: a triple claimed by several scenarios resolves
+/// to the most targeted injection (linkage < copied < drift < spam).
+#[test]
+fn scenario_truth_applies_documented_precedence() {
+    let cfg = tiny_with(ScenarioConfig {
+        copying: CopyingConfig { dependence: 1.0 },
+        spam: SpamConfig {
+            n_pages: 30,
+            n_items: 12,
+            claims_per_page: 4,
+            n_sites: 4,
+        },
+        drift: DriftConfig {
+            fraction: 0.25,
+            position: 0.5,
+        },
+        linkage: LinkageConfig {
+            confusable_ring: 4,
+            error_boost: 2.0,
+        },
+    });
+    let corpus = Corpus::generate(&cfg, SEED);
+    let truth = corpus.scenario_truth();
+    assert!(!truth.is_empty());
+
+    // Spam triples always win their slot.
+    for &(item, value) in &corpus.scenario.spam {
+        let t = Triple::new(item.subject, item.predicate, value);
+        assert_eq!(truth.get(&t), Some(&ScenarioPhenomenon::Spam));
+    }
+    // Drift triples lose only to spam.
+    let spam_set: FxHashSet<Triple> = corpus
+        .scenario
+        .spam
+        .iter()
+        .map(|&(item, v)| Triple::new(item.subject, item.predicate, v))
+        .collect();
+    for &(item, s) in &corpus.scenario.drift {
+        let t = Triple::new(item.subject, item.predicate, s);
+        if !spam_set.contains(&t) {
+            assert_eq!(truth.get(&t), Some(&ScenarioPhenomenon::Drift));
+        }
+    }
+    // All four phenomena appear somewhere in this fully hostile corpus.
+    for phenomenon in ScenarioPhenomenon::ALL {
+        assert!(
+            truth.values().any(|&p| p == phenomenon),
+            "{} never appears",
+            phenomenon.name()
+        );
+    }
+}

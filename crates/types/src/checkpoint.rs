@@ -52,7 +52,11 @@ pub const MAGIC: [u8; 4] = *b"KFCP";
 /// (despite being a purely additive kind) so every serving-era artifact
 /// self-identifies and a pre-serving build rejects a KB file with a
 /// version error rather than an unknown-kind one.
-pub const FORMAT_VERSION: u16 = 3;
+/// Version 4: hostile-corpus scenarios — `Corpus` gained a trailing
+/// `ScenarioTruth` segment (injected copying/spam/drift/linkage ground
+/// truth) and `TaxonomyReport` a `scenarios` breakdown, so corpora and
+/// reports from scenario-aware builds reject cleanly on older readers.
+pub const FORMAT_VERSION: u16 = 4;
 
 /// What a checkpoint file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

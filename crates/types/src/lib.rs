@@ -46,7 +46,7 @@ pub use schema::{Catalog, EntityInfo, PredicateInfo, ValueKind};
 pub use stats::{human_count, SkewSummary};
 pub use taxonomy::{
     BandBreakdown, CategoryAccuracy, CategoryCounts, ConfusionCell, ErrorCategory, GroupBreakdown,
-    Spread, TaxonomyReport,
+    ScenarioPhenomenon, Spread, TaxonomyReport,
 };
 pub use triple::{DataItem, Triple};
 pub use value::{NoHierarchy, Numeric, Value, ValueHierarchy};

@@ -123,6 +123,56 @@ impl Spread {
     }
 }
 
+/// The hostile-corpus phenomena the generator can inject (`kf-synth`
+/// scenario presets). Each phenomenon carries its own ground truth
+/// (`Corpus::scenario_truth` in `kf-synth` joins fused triples to the
+/// phenomenon that produced them), so the scenario matrix measures method
+/// degradation against what was actually injected instead of assuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ScenarioPhenomenon {
+    /// A record replicated by a correlated (copying) extractor.
+    Copied = 0,
+    /// A spam claim: one wrong voice per item pushed by many low-quality
+    /// pages.
+    Spam = 1,
+    /// A stale claim from before a mid-corpus truth flip.
+    Drift = 2,
+    /// A linkage mistake on an inflated confusable-entity surface.
+    Linkage = 3,
+}
+
+impl ScenarioPhenomenon {
+    /// All phenomena, in index order.
+    pub const ALL: [ScenarioPhenomenon; 4] = [
+        ScenarioPhenomenon::Copied,
+        ScenarioPhenomenon::Spam,
+        ScenarioPhenomenon::Drift,
+        ScenarioPhenomenon::Linkage,
+    ];
+
+    /// Stable machine-readable name (used as the `scenarios.json` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioPhenomenon::Copied => "copied",
+            ScenarioPhenomenon::Spam => "spam",
+            ScenarioPhenomenon::Drift => "drift",
+            ScenarioPhenomenon::Linkage => "linkage",
+        }
+    }
+
+    /// Dense index (0..4).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`ScenarioPhenomenon::index`]; `None` when out of range.
+    pub fn from_index(i: usize) -> Option<ScenarioPhenomenon> {
+        ScenarioPhenomenon::ALL.get(i).copied()
+    }
+}
+
 /// One count per [`ErrorCategory`], indexed by [`ErrorCategory::index`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CategoryCounts(pub [u64; ErrorCategory::COUNT]);
@@ -234,6 +284,11 @@ pub struct TaxonomyReport {
     pub extractors: Vec<GroupBreakdown>,
     /// Per support-spread class, ascending by key.
     pub spread: Vec<GroupBreakdown>,
+    /// Per injected scenario phenomenon (key = [`ScenarioPhenomenon`]
+    /// index, only phenomena with at least one false positive), ascending
+    /// by key. Empty when no scenario ground truth was supplied — the
+    /// default corpus injects none.
+    pub scenarios: Vec<GroupBreakdown>,
     /// Heuristic-vs-injected confusion matrix (only non-empty cells),
     /// ordered by (heuristic, injected). Empty when no ground truth was
     /// supplied.
@@ -368,12 +423,24 @@ impl KvCodec for CategoryAccuracy {
     }
 }
 
+impl KvCodec for ScenarioPhenomenon {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        ScenarioPhenomenon::from_index(u8::decode(input)? as usize)
+    }
+}
+
 impl KvCodec for TaxonomyReport {
     fn encode(&self, out: &mut Vec<u8>) {
         self.bands.encode(out);
         self.predicates.encode(out);
         self.extractors.encode(out);
         self.spread.encode(out);
+        self.scenarios.encode(out);
         self.confusion.encode(out);
         self.mean_prov_accuracy.encode(out);
         self.systematic_attribution.encode(out);
@@ -387,6 +454,7 @@ impl KvCodec for TaxonomyReport {
             predicates: Vec::decode(input)?,
             extractors: Vec::decode(input)?,
             spread: Vec::decode(input)?,
+            scenarios: Vec::decode(input)?,
             confusion: Vec::decode(input)?,
             mean_prov_accuracy: Vec::decode(input)?,
             systematic_attribution: Option::decode(input)?,
@@ -436,6 +504,11 @@ mod tests {
                 label: Spread::FewExtractorsManyPages.name().into(),
                 counts,
             }],
+            scenarios: vec![GroupBreakdown {
+                key: ScenarioPhenomenon::Spam.index() as u32,
+                label: ScenarioPhenomenon::Spam.name().into(),
+                counts,
+            }],
             confusion: vec![ConfusionCell {
                 heuristic: ErrorCategory::SystematicExtraction,
                 injected: ErrorCategory::SystematicExtraction,
@@ -461,6 +534,19 @@ mod tests {
             assert_eq!(ErrorCategory::from_index(c.index()), Some(c));
         }
         assert_eq!(ErrorCategory::from_index(4), None);
+    }
+
+    #[test]
+    fn phenomenon_names_are_distinct_and_indices_roundtrip() {
+        let names: std::collections::HashSet<_> =
+            ScenarioPhenomenon::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), ScenarioPhenomenon::ALL.len());
+        for p in ScenarioPhenomenon::ALL {
+            assert_eq!(ScenarioPhenomenon::from_index(p.index()), Some(p));
+        }
+        assert_eq!(ScenarioPhenomenon::from_index(4), None);
+        assert_eq!(ScenarioPhenomenon::decode(&mut &[7u8][..]), None);
+        roundtrip(ScenarioPhenomenon::Drift);
     }
 
     #[test]

@@ -193,7 +193,8 @@ proptest! {
             bands,
             predicates: groups.clone(),
             extractors: groups.clone(),
-            spread: groups,
+            spread: groups.clone(),
+            scenarios: groups,
             confusion: confusion
                 .into_iter()
                 .map(|(h, i, count)| ConfusionCell {

@@ -19,6 +19,14 @@ timing section into the rows: one row per span path, id `trace/<path>`,
 with min == mean == max == the span's total nanoseconds (a trace is one
 observation, not a sampled distribution). Trace rows bypass --filter —
 asking for them is the filter.
+
+--scenarios SCENARIOS.json folds the hostile-corpus matrix artifact
+(the `scenario_matrix_gate_writes_artifact` output) into quality rows:
+one row per (scenario, method) cell, id
+`scenario/<scenario>/<method>/<metric>` for wdev, auc_pr and the
+injected-phenomenon false-positive total — so scenario robustness is
+diffable across PRs exactly like the timing rows. Like trace rows,
+scenario rows bypass --filter.
 """
 
 import argparse
@@ -63,6 +71,25 @@ def trace_rows(path: str) -> list:
     return rows
 
 
+def scenario_rows(path: str) -> list:
+    """Quality rows from a scenario-matrix `scenarios.json` artifact."""
+    with open(path, encoding="utf-8") as f:
+        matrix = json.load(f)
+    rows = []
+    for row in matrix.get("scenarios", []):
+        scenario = row["scenario"]
+        for cell in row.get("methods", []):
+            base = f"scenario/{scenario}/{cell['method']}"
+            for metric in ("wdev", "auc_pr"):
+                value = cell.get(metric)
+                if value is None:
+                    continue
+                rows.append({"id": f"{base}/{metric}", "value": float(value)})
+            leaked = sum(p["false_positives"] for p in cell.get("phenomena", []))
+            rows.append({"id": f"{base}/injected_fp", "value": float(leaked)})
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("logs", nargs="*", help="cargo bench output files")
@@ -77,9 +104,16 @@ def main() -> int:
         "--trace",
         help="repro --trace artifact whose per-phase timings become trace/ rows",
     )
+    parser.add_argument(
+        "--scenarios",
+        help="scenario-matrix scenarios.json whose cells become scenario/ rows",
+    )
     args = parser.parse_args()
-    if not args.logs and not args.trace:
-        print("nothing to convert: pass bench logs and/or --trace", file=sys.stderr)
+    if not args.logs and not args.trace and not args.scenarios:
+        print(
+            "nothing to convert: pass bench logs, --trace and/or --scenarios",
+            file=sys.stderr,
+        )
         return 2
 
     rows = []
@@ -114,6 +148,8 @@ def main() -> int:
                     )
     if args.trace:
         rows.extend(trace_rows(args.trace))
+    if args.scenarios:
+        rows.extend(scenario_rows(args.scenarios))
 
     if not rows:
         print("no bench rows matched", file=sys.stderr)

@@ -48,7 +48,8 @@
 //!
 //! Runnable walkthroughs live in `examples/`: `quickstart`,
 //! `calibration_study`, `custom_extractor`, `webscale_pipeline`,
-//! `error_taxonomy`, `checkpoint_shard`, `trace_pipeline`.
+//! `error_taxonomy`, `checkpoint_shard`, `trace_pipeline`,
+//! `hostile_corpus`.
 
 pub use kf_core as core;
 pub use kf_diagnose as diagnose;
