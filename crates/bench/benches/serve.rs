@@ -14,10 +14,15 @@
 //! Methodology: per (scale, client-count) cell, `WINDOWS` measurement
 //! windows each issue a fixed total query budget split evenly across the
 //! clients, which hammer one shared `KbReader`. Every query's wall time
-//! is recorded into a preallocated buffer (no allocation inside the
-//! timed region); the window reports its pooled p99 and its overall
-//! queries/second. The row is min / mean / max across windows. One query
-//! = one read API call; clients cycle a lookup / belief / top-k /
+//! is recorded into a per-client [`HistogramSnapshot`] preallocated
+//! before the timed region (recording is a binary search over ≤1920
+//! sparse buckets — no allocation once every bucket the workload
+//! touches exists, and the warm-up window populates them); client
+//! histograms merge bucket-wise into the window's pooled distribution,
+//! whose p99 reads from the bucket upper bound (within `2^-5` relative
+//! error of the exact pooled-sort p99 — asserted by a test in
+//! `tests/trace.rs`). The row is min / mean / max across windows. One
+//! query = one read API call; clients cycle a lookup / belief / top-k /
 //! drill-down mix over strided rows. On a single-core machine the
 //! multi-client cells measure contention and scheduler fairness, not
 //! parallel speedup — the interesting signal is that p99 degrades
@@ -28,6 +33,7 @@
 
 use kf_serve::{FusedKb, KbBuildOptions, KbReader};
 use kf_synth::{Corpus, SynthConfig};
+use kf_telemetry::{HistKind, HistogramSnapshot};
 use kf_types::{DataItem, Triple};
 use std::time::Instant;
 
@@ -64,40 +70,45 @@ struct Window {
 }
 
 /// Run one measurement window: `clients` threads share the reader and
-/// the query budget; per-query latencies pool into one p99.
+/// the query budget; per-client latency histograms merge into the
+/// window's pooled distribution (the same bucket-wise algebra shard
+/// traces use), whose p99 reads straight from a bucket bound — no
+/// pooled sample buffer, no sort.
 fn run_window(reader: &KbReader, clients: usize, queries: u64) -> Window {
     let n_rows = reader.kb().n_triples() as u32;
     let per_client = queries / clients as u64;
     let start = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+    let client_hists: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let reader = reader.clone();
                 scope.spawn(move || {
-                    let mut lat = Vec::with_capacity(per_client as usize);
+                    let mut hist = HistogramSnapshot::empty("serve.latency_ns", HistKind::Time);
                     let mut sink = 0u64;
                     let base = c as u64 * per_client;
                     for i in 0..per_client {
                         let t = Instant::now();
                         sink ^= query(&reader, base + i, n_rows);
-                        lat.push(t.elapsed().as_nanos() as u64);
+                        hist.record(t.elapsed().as_nanos() as u64);
                     }
                     std::hint::black_box(sink);
-                    lat
+                    hist
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client joins"))
+            .map(|h| h.join().expect("client joins"))
             .collect()
     });
     let elapsed = start.elapsed();
-    latencies.sort_unstable();
-    let idx = ((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1);
+    let mut pooled = HistogramSnapshot::empty("serve.latency_ns", HistKind::Time);
+    for h in &client_hists {
+        pooled.merge(h);
+    }
     Window {
-        p99_ns: latencies[idx] as f64,
-        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p99_ns: pooled.quantile(0.99) as f64,
+        qps: pooled.count as f64 / elapsed.as_secs_f64(),
     }
 }
 

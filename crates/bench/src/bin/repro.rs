@@ -49,9 +49,11 @@ fn full_run_trace(process: &Trace, methods: &[MethodEval], deterministic: bool) 
 /// Write the `trace.json` artifact: the assembled whole-run trace plus
 /// each method's own trace (the same sections that ride inside shard
 /// reports), so per-method numbers stay inspectable after assembly.
+/// Schema 2 added the `histograms`/`gauges` deterministic entries and
+/// the per-trace `histograms` value ledger.
 fn write_trace(path: &str, full: &TraceReport, methods: &[MethodEval]) {
     let json = Json::obj([
-        ("schema_version", Json::Uint(1)),
+        ("schema_version", Json::Uint(2)),
         ("run", trace_to_json(full)),
         (
             "methods",

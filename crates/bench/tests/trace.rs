@@ -72,4 +72,62 @@ proptest! {
             prop_assert_eq!(single_trace, merged_trace);
         }
     }
+
+    /// The serve bench's rebased quantile math: per-client latency
+    /// histograms merged bucket-wise must report every quantile within
+    /// one bucket's relative error (`2^-SUB_BUCKET_BITS`) of the exact
+    /// pooled-sort answer the bench used to compute — over lumpy,
+    /// multi-octave latency shapes and uneven client splits.
+    #[test]
+    fn merged_client_histograms_agree_with_pooled_sort(
+        seed in 0u64..1_000,
+        clients in 1usize..=8,
+    ) {
+        use kf_telemetry::{HistKind, HistogramSnapshot, SUB_BUCKET_BITS};
+
+        // Deterministic lumpy latencies: a fast mode, a slow mode and a
+        // heavy tail, like a serving profile.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let samples: Vec<u64> = (0..4_000)
+            .map(|_| {
+                let r = next();
+                match r % 10 {
+                    0..=6 => 200 + r % 800,
+                    7..=8 => 20_000 + r % 30_000,
+                    _ => 1_000_000 + r % 9_000_000,
+                }
+            })
+            .collect();
+
+        // Split across clients the way the bench does (equal budgets,
+        // remainder dropped), record per-client, merge.
+        let per_client = samples.len() / clients;
+        let mut pooled = HistogramSnapshot::empty("lat", HistKind::Time);
+        for c in 0..clients {
+            let mut h = HistogramSnapshot::empty("lat", HistKind::Time);
+            for &v in &samples[c * per_client..(c + 1) * per_client] {
+                h.record(v);
+            }
+            pooled.merge(&h);
+        }
+
+        let mut exact: Vec<u64> = samples[..clients * per_client].to_vec();
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let rank = ((exact.len() as f64 * q) as usize).min(exact.len() - 1);
+            let want = exact[rank];
+            let got = pooled.quantile(q);
+            prop_assert!(got >= want, "q{q}: histogram {got} under exact {want}");
+            prop_assert!(
+                got - want <= want >> SUB_BUCKET_BITS,
+                "q{q}: histogram {got} beyond one bucket above exact {want}"
+            );
+        }
+    }
 }

@@ -131,6 +131,7 @@ impl Fuser {
         let mut round_deltas = Vec::with_capacity(cfg.rounds);
         let outcome = driver.run(|round| {
             let _round = kf_telemetry::span("round");
+            let round_start = std::time::Instant::now();
             kf_telemetry::add("fuse.rounds", 1);
             // Stage I: probabilities from current accuracies.
             let (stage1, s1_stats) = {
@@ -147,6 +148,7 @@ impl Fuser {
             if !cfg.method.iterative() {
                 round_deltas.push(0.0);
                 kf_telemetry::push_series("fuse.round_delta", 0.0);
+                kf_telemetry::record_time("fuse.round_ns", round_start.elapsed().as_nanos() as u64);
                 return 0.0;
             }
 
@@ -158,6 +160,7 @@ impl Fuser {
             stats.merge(&s2_stats);
             round_deltas.push(delta);
             kf_telemetry::push_series("fuse.round_delta", delta);
+            kf_telemetry::record_time("fuse.round_ns", round_start.elapsed().as_nanos() as u64);
             delta
         });
 

@@ -87,10 +87,22 @@
 //!           "spans": {"name": "run", "calls": 1, "children": [ … ]},
 //!           "counters": [ {"name": "mr.map_output", "value": …,
 //!                          "merge": "add"|"max"}, … ],
-//!           "series": [ {"name": "fuse.round_delta", "values": [ … ]}, … ]
+//!           "series": [ {"name": "fuse.round_delta", "values": [ … ]}, … ],
+//!           "histograms": [          // observation counts only
+//!             {"name": "fuse.round_ns", "kind": "time"|"value",
+//!              "count": …}, … ],
+//!           "gauges": [ {"name": …, "value": …}, … ]
 //!         },
 //!         "timings": [               // wall clock, quarantined: all zero
 //!           {"path": "run/fuse/round", "total_ns": …}, …  // under --deterministic
+//!         ],
+//!         "histograms": [            // the value ledger: full buckets and
+//!           {"name": "fuse.round_ns",//   quantiles; time-kind entries are
+//!            "kind": "time",         //   quarantined (empty) under
+//!            "count": …, "sum": …,   //   --deterministic, value-kind
+//!            "buckets": [            //   entries always survive
+//!              {"lo": …, "hi": …, "count": …}, … ],
+//!            "p50": …, "p95": …, "p99": …}, …
 //!         ]
 //!       }
 //!     }, …
@@ -224,8 +236,12 @@ impl MethodEval {
 }
 
 /// Serialize a [`TraceReport`] with its deterministic section (span
-/// calls, counters, series) split from the quarantined timing section
-/// (flat span paths with `total_ns`). See the module docs for the shape.
+/// calls, counters, series, gauges, histogram observation counts) split
+/// from the quarantined sections: flat span paths with `total_ns`, and
+/// a `histograms` value ledger whose buckets/sums/quantiles survive for
+/// `value`-kind histograms but are zeroed for `time`-kind ones under
+/// `--deterministic` (mirroring `quarantine_timings`). See the module
+/// docs for the shape.
 pub fn trace_to_json(t: &TraceReport) -> Json {
     fn span_to_json(n: &SpanNode) -> Json {
         let mut fields = vec![
@@ -258,6 +274,28 @@ pub fn trace_to_json(t: &TraceReport) -> Json {
                 ])
             })),
         ),
+        // Observation counts are input-determined for both histogram
+        // kinds; the value distributions live in the quarantined ledger
+        // below.
+        (
+            "histograms",
+            Json::arr(t.histograms.iter().map(|h| {
+                Json::obj([
+                    ("name", Json::from(h.name.clone())),
+                    ("kind", Json::from(h.kind.name())),
+                    ("count", Json::from(h.count)),
+                ])
+            })),
+        ),
+        (
+            "gauges",
+            Json::arr(t.gauges.iter().map(|g| {
+                Json::obj([
+                    ("name", Json::from(g.name.clone())),
+                    ("value", Json::from(g.value)),
+                ])
+            })),
+        ),
     ]);
     let timings = Json::arr(t.flat_timings().into_iter().map(|(path, total_ns)| {
         Json::obj([
@@ -265,7 +303,38 @@ pub fn trace_to_json(t: &TraceReport) -> Json {
             ("total_ns", Json::from(total_ns)),
         ])
     }));
-    Json::obj([("deterministic", deterministic), ("timings", timings)])
+    // The value ledger: full distributions. For time-kind histograms
+    // under --deterministic these are already quarantined (empty
+    // buckets, zero sum), exactly like the span timings above — the
+    // counts in the deterministic section still pin how many
+    // observations happened.
+    let histograms = Json::arr(t.histograms.iter().map(|h| {
+        Json::obj([
+            ("name", Json::from(h.name.clone())),
+            ("kind", Json::from(h.kind.name())),
+            ("count", Json::from(h.count)),
+            ("sum", Json::from(h.sum)),
+            (
+                "buckets",
+                Json::arr(h.buckets.iter().map(|b| {
+                    let (lo, hi) = kf_telemetry::bucket_bounds(b.index as usize);
+                    Json::obj([
+                        ("lo", Json::from(lo)),
+                        ("hi", Json::from(hi)),
+                        ("count", Json::from(b.count)),
+                    ])
+                })),
+            ),
+            ("p50", Json::from(h.quantile(0.50))),
+            ("p95", Json::from(h.quantile(0.95))),
+            ("p99", Json::from(h.quantile(0.99))),
+        ])
+    }));
+    Json::obj([
+        ("deterministic", deterministic),
+        ("timings", timings),
+        ("histograms", histograms),
+    ])
 }
 
 /// One count per category as a JSON object keyed by category name.

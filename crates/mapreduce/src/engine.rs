@@ -34,6 +34,7 @@ use kf_types::hash::hash_one;
 use kf_types::{FxHashMap, KvCodec};
 use std::hash::Hash;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -695,9 +696,13 @@ where
             let wave = &inputs[consumed..consumed + wave_len];
             let emitters = {
                 let _map = kf_telemetry::span("map");
-                map_slice(wave, workers, partitions, mapper)
+                let map_start = Instant::now();
+                let emitters = map_slice(wave, workers, partitions, mapper);
+                kf_telemetry::record_time("mr.wave.map_ns", map_start.elapsed().as_nanos() as u64);
+                emitters
             };
             let wave_emitted: u64 = emitters.iter().map(|e| e.emitted).sum();
+            kf_telemetry::record_value("mr.wave.records", wave_emitted);
             peak_raw = peak_raw.max(wave_emitted);
             emitted_total += wave_emitted;
             consumed += wave_len;
@@ -710,6 +715,7 @@ where
                 && resident + wave_emitted > spill_threshold as u64
             {
                 let _spill = kf_telemetry::span("spill");
+                let spill_start = Instant::now();
                 let dir = spill_dir.get_or_insert_with(|| SpillDir::create(spill_base));
                 // Snapshot non-empty accumulators and assign their run
                 // paths now — path order is what the k-way merge replays,
@@ -753,11 +759,23 @@ where
                         Ok(_) => unreachable!("writer exited while the sender was alive"),
                     }
                 }
+                // Coordinator-side spill cost: accumulator snapshot plus
+                // the rendezvous stall. The writer thread's own I/O time
+                // has no installed trace and is deliberately not recorded.
+                kf_telemetry::record_time(
+                    "mr.wave.spill_ns",
+                    spill_start.elapsed().as_nanos() as u64,
+                );
                 resident = 0;
             }
             let delta = {
                 let _merge = kf_telemetry::span("merge");
+                let merge_start = Instant::now();
                 let (delta, combines) = merge_wave(emitters, &mut groups, workers, combiner);
+                kf_telemetry::record_time(
+                    "mr.wave.merge_ns",
+                    merge_start.elapsed().as_nanos() as u64,
+                );
                 combiner_invocations += combines;
                 delta
             };
@@ -1247,6 +1265,27 @@ mod tests {
         assert!(wave.child("spill").is_some());
         assert!(wave.child("merge").is_some());
         assert!(report.root.child("reduce").is_some());
+        // Per-wave histograms: one records the emitted record count per
+        // wave (a Value histogram, so its distribution is deterministic),
+        // the duration ones record once per wave / once per spill.
+        let hist = |name: &str| {
+            report
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+        };
+        let records = hist("mr.wave.records");
+        assert_eq!(records.kind, kf_telemetry::HistKind::Value);
+        assert_eq!(records.count, counter("mr.waves"));
+        assert_eq!(
+            records.sum, stats.map_output,
+            "every mapped record is observed by exactly one wave"
+        );
+        assert_eq!(hist("mr.wave.map_ns").kind, kf_telemetry::HistKind::Time);
+        assert_eq!(hist("mr.wave.map_ns").count, counter("mr.waves"));
+        assert_eq!(hist("mr.wave.merge_ns").count, counter("mr.waves"));
+        assert!(hist("mr.wave.spill_ns").count > 0, "this config spills");
     }
 
     #[test]

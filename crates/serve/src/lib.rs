@@ -14,6 +14,11 @@
 //! * [`KbReader`] — the `Sync`, zero-copy query surface: one loaded
 //!   arena shared across any number of threads, with an allocation-free
 //!   hot read path.
+//! * [`ServeMetrics`] — the live metrics layer: per-thread sharded
+//!   latency/result-size histograms and outcome counters recorded on
+//!   the hot path (still allocation-free), aggregated into
+//!   [`MetricsSnapshot`]s with a Prometheus-style text exposition
+//!   (`kf-serve stats --metrics`, `kf-serve watch`).
 //! * [`repl`] — the line-oriented query language behind the `kf-serve`
 //!   CLI, exposed as a library so tests can drive it.
 //!
@@ -44,10 +49,14 @@
 //! ```
 
 pub mod kb;
+pub mod metrics;
 pub mod reader;
 pub mod repl;
 
 pub use kb::{calibrate, BuildError, FusedKb, KbBuildOptions};
+pub use metrics::{
+    KindSnapshot, MetricsSnapshot, QueryKind, ServeMetrics, SnapshotRing, SHARD_COUNT,
+};
 pub use reader::{Belief, Drilldown, KbReader, ProvSupport, TopK, TripleView};
 pub use repl::{eval_command, run_repl, ReplOutput};
 

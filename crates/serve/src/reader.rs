@@ -11,12 +11,16 @@
 //! The hot read path allocates nothing: lookups are binary searches over
 //! the columnar indexes, and answers are [`Copy`] row views
 //! ([`TripleView`], [`ProvSupport`]) or borrowed slices of the arena
-//! ([`Belief`], [`TopK`], [`Drilldown`]). Telemetry is counters only
+//! ([`Belief`], [`TopK`], [`Drilldown`]). Telemetry is counters
 //! (`serve.query`, `serve.topk`, per-index hit/miss) — free-function
 //! no-ops unless a trace is installed, so serving without a trace pays
-//! one atomic-free branch per counter.
+//! one atomic-free branch per counter — plus an optional
+//! [`ServeMetrics`] recorder attached with [`KbReader::with_metrics`]:
+//! per-kind latency and result-size histograms recorded into
+//! preallocated per-thread shards, also allocation-free.
 
 use crate::kb::{label_from_tag, FusedKb};
+use crate::metrics::{MetricTimer, QueryKind, ServeMetrics};
 use kf_telemetry::add;
 use kf_types::checkpoint::CheckpointError;
 use kf_types::{DataItem, Label, PredicateId, ProvenanceKey, Triple};
@@ -27,6 +31,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct KbReader {
     kb: Arc<FusedKb>,
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 /// One served triple row, copied out of the columns.
@@ -106,12 +111,28 @@ fn lower_bound(len: usize, mut less: impl FnMut(usize) -> bool) -> usize {
 impl KbReader {
     /// Wrap an in-memory KB.
     pub fn new(kb: FusedKb) -> Self {
-        KbReader { kb: Arc::new(kb) }
+        KbReader {
+            kb: Arc::new(kb),
+            metrics: None,
+        }
     }
 
     /// Load a KB checkpoint and wrap it.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         Ok(Self::new(FusedKb::load(path)?))
+    }
+
+    /// Attach a live metrics recorder: every query records its latency,
+    /// outcome and result size into `metrics`. Clones of this reader
+    /// share the recorder.
+    pub fn with_metrics(mut self, metrics: Arc<ServeMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached recorder, when metrics are enabled.
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The underlying arena.
@@ -129,6 +150,7 @@ impl KbReader {
     /// The belief distribution of `(subject, predicate)`, or `None` when
     /// the KB has no prediction for the item.
     pub fn belief(&self, item: DataItem) -> Option<Belief<'_>> {
+        let timer = MetricTimer::start(self.metrics.as_deref(), QueryKind::Belief);
         add("serve.query", 1);
         let kb = &*self.kb;
         let key = (item.subject.0, item.predicate.0);
@@ -136,20 +158,24 @@ impl KbReader {
         let i = lower_bound(m, |j| (kb.item_subjects[j], kb.item_predicates[j]) < key);
         if i == m || (kb.item_subjects[i], kb.item_predicates[i]) != key {
             add("serve.miss.item", 1);
+            timer.finish(false, 0);
             return None;
         }
         add("serve.hit.item", 1);
-        Some(Belief {
+        let belief = Belief {
             kb,
             start: kb.item_offsets[i] as usize,
             end: kb.item_offsets[i + 1] as usize,
-        })
+        };
+        timer.finish(true, belief.len() as u64);
+        Some(belief)
     }
 
     /// The `k` most confident triples for `predicate` (calibrated
     /// descending, ties in canonical triple order), or `None` when the
     /// KB serves no triple of that predicate.
     pub fn top_k(&self, predicate: PredicateId, k: usize) -> Option<TopK<'_>> {
+        let timer = MetricTimer::start(self.metrics.as_deref(), QueryKind::TopK);
         add("serve.query", 1);
         add("serve.topk", 1);
         let kb = &*self.kb;
@@ -159,13 +185,16 @@ impl KbReader {
                 let start = kb.pred_offsets[i] as usize;
                 let end = kb.pred_offsets[i + 1] as usize;
                 let end = start + k.min(end - start);
-                Some(TopK {
+                let top = TopK {
                     kb,
                     rows: &kb.rank[start..end],
-                })
+                };
+                timer.finish(true, top.len() as u64);
+                Some(top)
             }
             Err(_) => {
                 add("serve.miss.pred", 1);
+                timer.finish(false, 0);
                 None
             }
         }
@@ -174,25 +203,36 @@ impl KbReader {
     /// The served row for an exact triple, or `None` when the KB does
     /// not predict it.
     pub fn lookup(&self, triple: &Triple) -> Option<TripleView> {
+        let timer = MetricTimer::start(self.metrics.as_deref(), QueryKind::Lookup);
         add("serve.query", 1);
-        let row = self.find_row(triple)?;
+        let Some(row) = self.find_row(triple) else {
+            timer.finish(false, 0);
+            return None;
+        };
+        timer.finish(true, 1);
         Some(view_at(&self.kb, row))
     }
 
     /// Provenance drill-down for an exact triple: every supporting
     /// provenance with its final learned accuracy.
     pub fn drilldown(&self, triple: &Triple) -> Option<Drilldown<'_>> {
+        let timer = MetricTimer::start(self.metrics.as_deref(), QueryKind::Drilldown);
         add("serve.query", 1);
         add("serve.drilldown", 1);
-        let row = self.find_row(triple)?;
+        let Some(row) = self.find_row(triple) else {
+            timer.finish(false, 0);
+            return None;
+        };
         let kb = &*self.kb;
         let start = kb.prov_offsets[row as usize] as usize;
         let end = kb.prov_offsets[row as usize + 1] as usize;
-        Some(Drilldown {
+        let drill = Drilldown {
             kb,
             row,
             ids: &kb.prov_ids[start..end],
-        })
+        };
+        timer.finish(true, drill.len() as u64);
+        Some(drill)
     }
 
     /// Extractor display name for `id`, when the KB carries one.

@@ -12,6 +12,7 @@
 //! triple <subj> <pred> <obj>  one served row
 //! prov <subj> <pred> <obj>    provenance drill-down for a row
 //! counters                    serve.* counters of the installed trace
+//! metrics                     exposition of the attached live recorder
 //! help                        this text
 //! quit                        leave the REPL
 //! ```
@@ -140,6 +141,16 @@ fn counters_text() -> String {
     }
 }
 
+fn metrics_text(reader: &KbReader) -> String {
+    match reader.metrics() {
+        Some(metrics) => {
+            let text = metrics.snapshot().render_text();
+            text.trim_end().to_string()
+        }
+        None => "no metrics recorder attached".to_string(),
+    }
+}
+
 const HELP: &str = "commands:
   stats                       KB summary
   item <subj> <pred>          belief distribution of one data item
@@ -147,6 +158,7 @@ const HELP: &str = "commands:
   triple <subj> <pred> <obj>  one served row
   prov <subj> <pred> <obj>    provenance drill-down
   counters                    serve.* counters of the installed trace
+  metrics                     exposition of the attached live recorder
   help                        this text
   quit                        leave the REPL
 values: e<id> entity, s<id> interned string, n<number> numeric";
@@ -170,6 +182,7 @@ pub fn eval_command(reader: &KbReader, line: &str) -> Result<ReplOutput, String>
         "help" => Ok(ReplOutput::Text(HELP.to_string())),
         "stats" => Ok(ReplOutput::Text(stats_text(reader.kb()))),
         "counters" => Ok(ReplOutput::Text(counters_text())),
+        "metrics" => Ok(ReplOutput::Text(metrics_text(reader))),
         "item" => {
             arity(2, "item <subj> <pred>")?;
             let item = DataItem {

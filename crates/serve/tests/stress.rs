@@ -142,6 +142,35 @@ fn hot_path_does_not_allocate() {
     );
 }
 
+/// The zero-allocation guarantee survives metrics: with a live
+/// [`ServeMetrics`] recorder attached, every query also records latency,
+/// outcome and result size — into preallocated per-thread shards, so the
+/// hot path must still not allocate once.
+#[test]
+fn hot_path_does_not_allocate_with_metrics_enabled() {
+    let metrics = std::sync::Arc::new(kf_serve::ServeMetrics::new());
+    let reader = reader().with_metrics(metrics.clone());
+    let n = reader.kb().n_triples() as u32;
+    // Warm-up also pins this thread to its recorder shard.
+    let warm = digest_range(&reader, 0..n);
+
+    let before = allocs_on_this_thread();
+    let hot = digest_range(&reader, 0..n);
+    let after = allocs_on_this_thread();
+
+    assert_eq!(hot, warm, "same queries must digest identically");
+    assert_eq!(
+        after - before,
+        0,
+        "metrics-enabled hot path allocated {} times over {n} rows",
+        after - before
+    );
+    // And the recording actually happened: both passes landed.
+    let snap = metrics.snapshot();
+    // Per row: 1 lookup + 1 belief + 1 top_k + 1 drilldown + 1 top_k miss.
+    assert_eq!(snap.total_queries(), 2 * 5 * n as u64);
+}
+
 /// 8 threads × disjoint row ranges, all on one shared reader: every
 /// thread's digest equals the single-threaded digest of its range.
 #[test]

@@ -143,20 +143,21 @@ proptest! {
     }
 }
 
-/// The scenario segment rode in on checkpoint format version 4: a reader
-/// of this build must refuse a file stamped with the pre-scenario version
-/// (3) — or any other foreign version — with a typed skew error naming
-/// the found version, never a silent misparse of the new trailing bytes.
+/// Trace histograms rode in on checkpoint format version 5: a reader of
+/// this build must refuse a file stamped with any earlier version (the
+/// pre-histogram 4, the pre-scenario 3, …) — or any other foreign
+/// version — with a typed skew error naming the found version, never a
+/// silent misparse of the new trailing bytes.
 #[test]
-fn pre_scenario_format_version_is_rejected_with_typed_skew() {
+fn stale_format_versions_are_rejected_with_typed_skew() {
     use kf_types::checkpoint::{self, ArtifactKind, CheckpointError, FORMAT_VERSION};
     assert_eq!(
-        FORMAT_VERSION, 4,
-        "scenario segment shipped in v4; bump this test alongside the format"
+        FORMAT_VERSION, 5,
+        "trace histograms shipped in v5; bump this test alongside the format"
     );
     let corpus = Corpus::generate(&SynthConfig::tiny(), 7);
     let mut bytes = checkpoint::encode(ArtifactKind::Corpus, &corpus);
-    for stale in [3u16, 2, 1] {
+    for stale in [4u16, 3, 2, 1] {
         bytes[4..6].copy_from_slice(&stale.to_le_bytes());
         match checkpoint::decode::<Corpus>(ArtifactKind::Corpus, &bytes) {
             Err(CheckpointError::VersionSkew { found }) => assert_eq!(found, stale),

@@ -6,22 +6,30 @@
 //! dependencies) tracing/metrics layer that the engine, the fuser, the
 //! evaluator, and the persistence layer all emit into.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`Trace`] — a run-scoped registry: a tree of timed spans (opened
 //!   via RAII [`SpanGuard`]s, aggregated by name so a thousand waves
 //!   make one compact `wave` node), thread-safe atomic counters with
-//!   explicit [`MergeRule`]s, and named numeric series.
+//!   explicit [`MergeRule`]s, named numeric series, log-bucketed
+//!   histograms, and gauges.
+//! * [`LiveHistogram`] / [`HistogramSnapshot`] — HDR-style power-of-two
+//!   sub-bucketed latency/size distributions over a fixed layout
+//!   (quantile relative error ≤ `2^-SUB_BUCKET_BITS`): lock-free
+//!   allocation-free recording, bucket-wise-add merging, and a
+//!   deterministic-count / quarantined-value split keyed by
+//!   [`HistKind`].
 //! * a thread-local installation ([`install`]) with free functions
-//!   ([`span`], [`add`], [`record_max`], [`push_series`]) that are
+//!   ([`span`], [`add`], [`record_max`], [`push_series`],
+//!   [`record_time`], [`record_value`], [`set_gauge`]) that are
 //!   no-ops when no trace is installed — so library code instruments
 //!   unconditionally and pays nothing in untraced runs.
 //! * [`TraceReport`] — the frozen snapshot: mergeable across shard runs
 //!   under documented rules, splittable into a *deterministic* section
-//!   (calls, counters, series — byte-identical across same-seed runs)
-//!   and a quarantined *timing* section
-//!   ([`TraceReport::quarantine_timings`]), and `KvCodec`-encodable so
-//!   traces ride inside shard reports.
+//!   (calls, counters, series, gauges, histogram counts —
+//!   byte-identical across same-seed runs) and a quarantined *timing*
+//!   section ([`TraceReport::quarantine_timings`]), and
+//!   `KvCodec`-encodable so traces ride inside shard reports.
 //!
 //! ```
 //! use kf_telemetry::{install, span, add, Trace};
@@ -42,15 +50,20 @@
 //! assert_eq!(report.counters[0].value, 1);
 //! ```
 
+mod histogram;
 mod report;
 mod runtime;
 
+pub use histogram::{
+    bucket_bounds, bucket_index, GaugeSnapshot, HistBucket, HistKind, HistogramSnapshot,
+    BUCKET_COUNT, SUB_BUCKET_BITS, SUB_BUCKET_COUNT,
+};
 pub use report::{
     fmt_ns, CounterSnapshot, MergeRule, SeriesSnapshot, SpanNode, TraceReport, MAX_SPAN_DEPTH,
 };
 pub use runtime::{
-    add, current, install, push_series, record_max, span, ActiveSpan, CounterHandle, InstallGuard,
-    SpanGuard, Trace,
+    add, current, install, push_series, record_max, record_time, record_value, set_gauge, span,
+    ActiveSpan, CounterHandle, HistogramHandle, InstallGuard, LiveHistogram, SpanGuard, Trace,
 };
 
 #[cfg(test)]
@@ -285,6 +298,153 @@ mod tests {
         0u64.encode(&mut buf);
         u64::MAX.encode(&mut buf);
         assert!(SpanNode::decode(&mut &buf[..]).is_none());
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_self_inverse() {
+        // Exact buckets below the sub-bucket count, then log buckets.
+        for v in 0..SUB_BUCKET_COUNT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+        // Every bucket's bounds contain exactly the values that map to
+        // it, edges included, and consecutive buckets tile the range.
+        let mut prev_hi = None;
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1u64, "bucket {i} tiles after its predecessor");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX), "layout covers all of u64");
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    /// The satellite contract: histogram quantiles agree with exact
+    /// pooled quantiles within one bucket's relative error
+    /// (`≤ 2^-SUB_BUCKET_BITS`).
+    #[test]
+    fn quantiles_agree_with_pooled_sort_within_bucket_error() {
+        // A deliberately lumpy latency-shaped sample: a tight body, a
+        // heavy tail, and some exact small values.
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            values.push(match i % 10 {
+                0 => x % 16,                    // exact buckets
+                1..=7 => 800 + x % 2_000,       // body ~ 1 µs
+                8 => 20_000 + x % 40_000,       // slow tail
+                _ => 1_000_000 + x % 9_000_000, // rare outliers
+            });
+        }
+        let mut h = HistogramSnapshot::empty("lat", HistKind::Time);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)];
+            let approx = h.quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(
+                approx - exact <= exact >> SUB_BUCKET_BITS,
+                "q={q}: {approx} overshoots exact {exact} by more than 2^-{SUB_BUCKET_BITS}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_add_and_quarantine_splits_kinds() {
+        let t = Trace::new();
+        t.record_time("mr.wave.map_ns", 1_500);
+        t.record_time("mr.wave.map_ns", 90_000);
+        t.record_value("mr.wave.records", 64);
+        t.set_gauge("mr.quota", 4096.0);
+        let mut a = t.snapshot();
+        let b = a.clone();
+        a.merge(&b);
+        let get = |r: &TraceReport, name: &str| {
+            r.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(get(&a, "mr.wave.map_ns").count, 4);
+        assert_eq!(get(&a, "mr.wave.map_ns").sum, 2 * 91_500);
+        assert_eq!(get(&a, "mr.wave.records").buckets.len(), 1);
+        assert_eq!(get(&a, "mr.wave.records").buckets[0].count, 2);
+        assert_eq!(a.gauges[0].value, 4096.0, "gauge keeps last-set value");
+
+        // Quarantine: Time histograms keep their count but lose their
+        // distribution; Value histograms keep everything.
+        a.quarantine_timings();
+        let time = get(&a, "mr.wave.map_ns");
+        assert_eq!((time.count, time.sum), (4, 0));
+        assert!(time.buckets.is_empty());
+        let value = get(&a, "mr.wave.records");
+        assert_eq!((value.count, value.sum), (2, 128));
+        assert_eq!(value.buckets.len(), 1);
+        assert_eq!(a.gauges.len(), 1, "gauges survive the quarantine");
+    }
+
+    #[test]
+    fn live_histogram_matches_sequential_recording_across_threads() {
+        let live = LiveHistogram::new();
+        let mut reference = HistogramSnapshot::empty("h", HistKind::Value);
+        for v in 0..4_000u64 {
+            reference.record(v * 37 % 100_000);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let live = &live;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        live.record((t * 1_000 + i) * 37 % 100_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(live.snapshot("h", HistKind::Value), reference);
+    }
+
+    #[test]
+    fn histogram_codec_rejects_noncanonical_buckets() {
+        let mut h = HistogramSnapshot::empty("lat", HistKind::Time);
+        for v in [3u64, 3, 77, 12_345] {
+            h.record(v);
+        }
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let back = HistogramSnapshot::decode(&mut &buf[..]).unwrap();
+        assert_eq!(back, h);
+
+        // Out-of-layout index, zero count, and non-ascending order are
+        // all rejected.
+        for bad in [
+            vec![HistBucket {
+                index: BUCKET_COUNT as u32,
+                count: 1,
+            }],
+            vec![HistBucket { index: 3, count: 0 }],
+            vec![
+                HistBucket { index: 7, count: 1 },
+                HistBucket { index: 7, count: 1 },
+            ],
+        ] {
+            let mut h = h.clone();
+            h.buckets = bad;
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            assert!(HistogramSnapshot::decode(&mut &buf[..]).is_none());
+        }
     }
 
     #[test]

@@ -18,15 +18,26 @@
 //!   values append after the left's. Merge order is therefore part of
 //!   the contract: callers merge in ablation order, which is also the
 //!   order a single process runs the methods in.
+//! * **Histograms** merge by name via bucket-wise addition (see
+//!   [`HistogramSnapshot::merge`]) — associative and commutative with
+//!   the empty histogram as identity, exactly like `Add` counters.
+//! * **Gauges** are levels, not accumulations: the right operand
+//!   overwrites, so the merged trace reports the most recent
+//!   observation in merge order.
 //!
 //! # Deterministic vs timing
 //!
-//! Span `calls`, counters, and series depend only on the input and the
-//! configuration — they are byte-identical across same-seed runs and are
-//! CI-gated as such. Span `total_ns` is wall clock; it is quarantined
-//! (zeroed) by [`TraceReport::quarantine_timings`] under
-//! `--deterministic`, generalizing the old ad-hoc `fuse_ms = 0.0` rule.
+//! Span `calls`, counters, series, gauges, and histogram *observation
+//! counts* depend only on the input and the configuration — they are
+//! byte-identical across same-seed runs and are CI-gated as such. Span
+//! `total_ns` is wall clock, and so is the bucket occupancy of a
+//! [`HistKind::Time`] histogram; both are quarantined (zeroed/emptied)
+//! by [`TraceReport::quarantine_timings`] under `--deterministic`,
+//! generalizing the old ad-hoc `fuse_ms = 0.0` rule.
+//! [`HistKind::Value`] histograms record data quantities and keep their
+//! full distribution through the quarantine.
 
+use crate::histogram::{GaugeSnapshot, HistKind, HistogramSnapshot};
 use kf_types::KvCodec;
 use std::fmt::Write as _;
 
@@ -152,8 +163,8 @@ pub struct SeriesSnapshot {
     pub values: Vec<f64>,
 }
 
-/// A frozen trace: the span tree plus counters (sorted by name) and
-/// series (sorted by name).
+/// A frozen trace: the span tree plus counters, series, histograms, and
+/// gauges (each list sorted by name).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
     /// The phase tree, rooted at the trace's root span.
@@ -162,6 +173,10 @@ pub struct TraceReport {
     pub counters: Vec<CounterSnapshot>,
     /// Series sorted by name.
     pub series: Vec<SeriesSnapshot>,
+    /// Histograms sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Gauges sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
 }
 
 impl TraceReport {
@@ -174,6 +189,8 @@ impl TraceReport {
             },
             counters: Vec::new(),
             series: Vec::new(),
+            histograms: Vec::new(),
+            gauges: Vec::new(),
         }
     }
 
@@ -219,13 +236,35 @@ impl TraceReport {
             }
         }
         self.series.sort_by(|a, b| a.name.cmp(&b.name));
+        for oh in &other.histograms {
+            match self.histograms.iter_mut().find(|h| h.name == oh.name) {
+                Some(h) => h.merge(oh),
+                None => self.histograms.push(oh.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        for og in &other.gauges {
+            match self.gauges.iter_mut().find(|g| g.name == og.name) {
+                Some(g) => g.value = og.value,
+                None => self.gauges.push(og.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
-    /// Zero every wall-clock field (span `total_ns` throughout the
-    /// tree), leaving calls, counters, and series — the deterministic
-    /// section — untouched. The `--deterministic` quarantine.
+    /// Zero every wall-clock field: span `total_ns` throughout the tree
+    /// and the value distribution (buckets, sum) of every
+    /// [`HistKind::Time`] histogram. Calls, counters, series, gauges,
+    /// histogram observation counts, and [`HistKind::Value`] histograms
+    /// — the deterministic section — stay untouched. The
+    /// `--deterministic` quarantine.
     pub fn quarantine_timings(&mut self) {
         self.root.zero_timings();
+        for h in &mut self.histograms {
+            if h.kind == HistKind::Time {
+                h.clear_values();
+            }
+        }
     }
 
     /// Preorder list of `(slash-joined path, total_ns)` for every span —
@@ -271,6 +310,31 @@ impl TraceReport {
             for c in &self.counters {
                 let _ = writeln!(s, "{:<44} {:>8} {:>12}", c.name, c.rule.name(), c.value);
             }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<34} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p95", "p99"
+            );
+            for h in &self.histograms {
+                let q = |q: f64| match h.kind {
+                    HistKind::Time => fmt_ns(h.quantile(q)),
+                    HistKind::Value => h.quantile(q).to_string(),
+                };
+                let _ = writeln!(
+                    s,
+                    "{:<34} {:>8} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    q(0.5),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
+        }
+        for g in &self.gauges {
+            let _ = writeln!(s, "{:<44} {:>21.4}", g.name, g.value);
         }
         for series in &self.series {
             let values: Vec<String> = series.values.iter().map(|v| format!("{v:.4}")).collect();
@@ -356,12 +420,16 @@ impl KvCodec for TraceReport {
         self.root.encode(out);
         self.counters.encode(out);
         self.series.encode(out);
+        self.histograms.encode(out);
+        self.gauges.encode(out);
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         Some(TraceReport {
             root: SpanNode::decode(input)?,
             counters: Vec::<CounterSnapshot>::decode(input)?,
             series: Vec::<SeriesSnapshot>::decode(input)?,
+            histograms: Vec::<HistogramSnapshot>::decode(input)?,
+            gauges: Vec::<GaugeSnapshot>::decode(input)?,
         })
     }
 }

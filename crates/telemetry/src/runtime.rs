@@ -13,6 +13,7 @@
 //! structure). A span guard dropped out of order records its timing but
 //! only unwinds the stack down to its own frame.
 
+use crate::histogram::{bucket_index, GaugeSnapshot, HistKind, HistogramSnapshot, BUCKET_COUNT};
 use crate::report::{CounterSnapshot, MergeRule, SeriesSnapshot, SpanNode, TraceReport};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -53,12 +54,77 @@ struct CounterCell {
     rule: MergeRule,
 }
 
+/// The live, thread-safe side of a log-bucketed histogram: a dense
+/// preallocated bucket array of atomics over the fixed layout, so
+/// recording is three relaxed `fetch_add`s and **zero allocations** —
+/// safe on hot paths that pin an allocation-free guarantee.
+pub struct LiveHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LiveHistogram {
+    fn default() -> Self {
+        LiveHistogram::new()
+    }
+}
+
+impl LiveHistogram {
+    /// A fresh histogram with every bucket of the fixed layout
+    /// preallocated (one upfront allocation, none at record time).
+    pub fn new() -> LiveHistogram {
+        LiveHistogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze into a sparse snapshot under the given name and kind.
+    pub fn snapshot(&self, name: &str, kind: HistKind) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty(name, kind);
+        snap.count = self.count.load(Ordering::Relaxed);
+        snap.sum = self.sum.load(Ordering::Relaxed);
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                snap.buckets.push(crate::histogram::HistBucket {
+                    index: index as u32,
+                    count,
+                });
+            }
+        }
+        snap
+    }
+}
+
+struct HistogramCell {
+    kind: HistKind,
+    live: LiveHistogram,
+}
+
 struct Inner {
     started: Instant,
     root_name: &'static str,
     spans: Mutex<SpanArena>,
     counters: Mutex<BTreeMap<&'static str, Arc<CounterCell>>>,
     series: Mutex<BTreeMap<&'static str, Vec<f64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
 }
 
 /// A run-scoped telemetry registry: a tree of timed spans, a set of
@@ -100,6 +166,8 @@ impl Trace {
                 }),
                 counters: Mutex::new(BTreeMap::new()),
                 series: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -176,6 +244,39 @@ impl Trace {
             .push(value);
     }
 
+    /// A lock-free handle to the named histogram, registering it with
+    /// `kind` on first use. Like counters, a histogram's kind is fixed
+    /// by its first registration.
+    pub fn histogram(&self, name: &'static str, kind: HistKind) -> HistogramHandle {
+        let cell = lock_unpoisoned(&self.inner.histograms)
+            .entry(name)
+            .or_insert_with(|| {
+                Arc::new(HistogramCell {
+                    kind,
+                    live: LiveHistogram::new(),
+                })
+            })
+            .clone();
+        HistogramHandle { cell }
+    }
+
+    /// Record a wall-clock duration (nanoseconds) into the named
+    /// [`HistKind::Time`] histogram.
+    pub fn record_time(&self, name: &'static str, ns: u64) {
+        self.histogram(name, HistKind::Time).record(ns);
+    }
+
+    /// Record a data quantity into the named [`HistKind::Value`]
+    /// histogram.
+    pub fn record_value(&self, name: &'static str, value: u64) {
+        self.histogram(name, HistKind::Value).record(value);
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        lock_unpoisoned(&self.inner.gauges).insert(name, value);
+    }
+
     /// Freeze the current state into a [`TraceReport`]. Open spans
     /// contribute the calls and time of their already-closed invocations;
     /// the root reports one call spanning the trace's lifetime so far.
@@ -202,10 +303,23 @@ impl Trace {
                 values: values.clone(),
             })
             .collect();
+        let histograms = lock_unpoisoned(&self.inner.histograms)
+            .iter()
+            .map(|(&name, cell)| cell.live.snapshot(name, cell.kind))
+            .collect();
+        let gauges = lock_unpoisoned(&self.inner.gauges)
+            .iter()
+            .map(|(&name, &value)| GaugeSnapshot {
+                name: name.to_owned(),
+                value,
+            })
+            .collect();
         TraceReport {
             root,
             counters,
             series,
+            histograms,
+            gauges,
         }
     }
 
@@ -244,6 +358,27 @@ impl Drop for SpanGuard {
         if let Some(pos) = arena.stack.iter().rposition(|&i| i == self.node) {
             arena.stack.truncate(pos);
         }
+    }
+}
+
+/// A lock-free handle to one histogram cell; clone and hand to worker
+/// threads for hot-loop recording (three relaxed atomics, no locks, no
+/// allocation).
+#[derive(Clone)]
+pub struct HistogramHandle {
+    cell: Arc<HistogramCell>,
+}
+
+impl HistogramHandle {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.cell.live.record(v);
+    }
+
+    /// The kind this histogram was registered with.
+    pub fn kind(&self) -> HistKind {
+        self.cell.kind
     }
 }
 
@@ -363,5 +498,29 @@ pub fn record_max(name: &'static str, value: u64) {
 pub fn push_series(name: &'static str, value: f64) {
     if let Some(t) = current() {
         t.push_series(name, value);
+    }
+}
+
+/// Record a wall-clock duration (nanoseconds) into a
+/// [`HistKind::Time`] histogram on the installed trace; no-op without
+/// one.
+pub fn record_time(name: &'static str, ns: u64) {
+    if let Some(t) = current() {
+        t.record_time(name, ns);
+    }
+}
+
+/// Record a data quantity into a [`HistKind::Value`] histogram on the
+/// installed trace; no-op without one.
+pub fn record_value(name: &'static str, value: u64) {
+    if let Some(t) = current() {
+        t.record_value(name, value);
+    }
+}
+
+/// Set a gauge on the installed trace; no-op without one.
+pub fn set_gauge(name: &'static str, value: f64) {
+    if let Some(t) = current() {
+        t.set_gauge(name, value);
     }
 }

@@ -1,0 +1,104 @@
+//! Property tests for the histogram merge algebra and its codec.
+//!
+//! The merge contract is what lets shard-run histograms reassemble into
+//! the single-process distribution: bucket-wise addition must be
+//! associative and commutative with the empty histogram as identity —
+//! the same algebra `Add` counters obey, lifted to distributions. The
+//! codec contract is the checkpoint-robustness one every `KvCodec`
+//! domain type carries: exact roundtrip of canonical bytes, rejection
+//! of every truncation.
+
+use kf_telemetry::{HistKind, HistogramSnapshot};
+use kf_types::KvCodec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a histogram by recording a drawn value set. Values span the
+/// exact range, the log range, and the extreme octaves.
+fn hist(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty("h", HistKind::Value);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn value() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        (0u64..u64::MAX).prop_map(|v| v | 1 << 60),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in vec(value(), 0..40),
+        b in vec(value(), 0..40),
+    ) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // And merging equals recording the union stream directly.
+        let mut union: Vec<u64> = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &hist(&union));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in vec(value(), 0..30),
+        b in vec(value(), 0..30),
+        c in vec(value(), 0..30),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_histogram_is_the_merge_identity(a in vec(value(), 0..40)) {
+        let ha = hist(&a);
+        let mut left = HistogramSnapshot::empty("h", HistKind::Value);
+        left.merge(&ha);
+        prop_assert_eq!(&left, &ha);
+        let mut right = ha.clone();
+        right.merge(&HistogramSnapshot::empty("h", HistKind::Value));
+        prop_assert_eq!(&right, &ha);
+    }
+
+    #[test]
+    fn codec_roundtrips_and_rejects_every_truncation(a in vec(value(), 0..24)) {
+        let h = hist(&a);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+
+        let mut input = &buf[..];
+        let back = HistogramSnapshot::decode(&mut input);
+        prop_assert_eq!(back.as_ref(), Some(&h));
+        prop_assert!(input.is_empty(), "decode consumed exactly what encode wrote");
+
+        // Every strict prefix must fail to decode — a truncated stream
+        // is never silently accepted as a shorter histogram.
+        for cut in 0..buf.len() {
+            prop_assert!(
+                HistogramSnapshot::decode(&mut &buf[..cut]).is_none(),
+                "decode accepted a {cut}-byte truncation of {} bytes",
+                buf.len()
+            );
+        }
+    }
+}

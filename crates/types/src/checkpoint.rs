@@ -56,7 +56,10 @@ pub const MAGIC: [u8; 4] = *b"KFCP";
 /// `ScenarioTruth` segment (injected copying/spam/drift/linkage ground
 /// truth) and `TaxonomyReport` a `scenarios` breakdown, so corpora and
 /// reports from scenario-aware builds reject cleanly on older readers.
-pub const FORMAT_VERSION: u16 = 4;
+/// Version 5: live metrics — `TraceReport` gained histogram and gauge
+/// sections, changing the bytes of every checkpointed trace (traces
+/// ride inside shard reports).
+pub const FORMAT_VERSION: u16 = 5;
 
 /// What a checkpoint file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -27,6 +27,13 @@ one row per (scenario, method) cell, id
 injected-phenomenon false-positive total — so scenario robustness is
 diffable across PRs exactly like the timing rows. Like trace rows,
 scenario rows bypass --filter.
+
+--metrics METRICS.json folds a `kf-serve watch --json-out` (or any
+MetricsSnapshot JSON) into histogram rows: per query kind and family,
+id `hist/serve.<family>.<kind>/<quantile>` — latency quantiles as
+nanosecond rows, result-size quantiles and observation counts as value
+rows — so serving tail latency is diffable across PRs. Like trace
+rows, metrics rows bypass --filter.
 """
 
 import argparse
@@ -90,6 +97,40 @@ def scenario_rows(path: str) -> list:
     return rows
 
 
+def metrics_rows(path: str) -> list:
+    """Histogram rows from a serialized MetricsSnapshot (kf-serve watch)."""
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    rows = [
+        {
+            "id": "hist/serve.queries/total",
+            "value": float(snap.get("total_queries", 0)),
+        }
+    ]
+    for kind in snap.get("kinds", []):
+        name = kind["kind"]
+        for family in ("latency_ns", "result_size"):
+            hist = kind.get(family)
+            if not hist or not hist.get("count"):
+                continue
+            base = f"hist/serve.{family}.{name}"
+            for quantile in ("p50", "p95", "p99"):
+                value = float(hist[quantile])
+                if family == "latency_ns":
+                    rows.append(
+                        {
+                            "id": f"{base}/{quantile}",
+                            "min_ns": value,
+                            "mean_ns": value,
+                            "max_ns": value,
+                        }
+                    )
+                else:
+                    rows.append({"id": f"{base}/{quantile}", "value": value})
+            rows.append({"id": f"{base}/count", "value": float(hist["count"])})
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("logs", nargs="*", help="cargo bench output files")
@@ -108,10 +149,14 @@ def main() -> int:
         "--scenarios",
         help="scenario-matrix scenarios.json whose cells become scenario/ rows",
     )
+    parser.add_argument(
+        "--metrics",
+        help="MetricsSnapshot JSON (kf-serve watch --json-out) folded into hist/ rows",
+    )
     args = parser.parse_args()
-    if not args.logs and not args.trace and not args.scenarios:
+    if not args.logs and not args.trace and not args.scenarios and not args.metrics:
         print(
-            "nothing to convert: pass bench logs, --trace and/or --scenarios",
+            "nothing to convert: pass bench logs, --trace, --scenarios and/or --metrics",
             file=sys.stderr,
         )
         return 2
@@ -150,6 +195,8 @@ def main() -> int:
         rows.extend(trace_rows(args.trace))
     if args.scenarios:
         rows.extend(scenario_rows(args.scenarios))
+    if args.metrics:
+        rows.extend(metrics_rows(args.metrics))
 
     if not rows:
         print("no bench rows matched", file=sys.stderr)

@@ -72,7 +72,7 @@ pub mod prelude {
         Preset,
     };
     pub use kf_mapreduce::MrConfig;
-    pub use kf_serve::{FusedKb, KbBuildOptions, KbReader};
+    pub use kf_serve::{FusedKb, KbBuildOptions, KbReader, MetricsSnapshot, ServeMetrics};
     pub use kf_synth::{Corpus, SynthConfig};
     pub use kf_telemetry::{Trace, TraceReport};
     pub use kf_types::{
