@@ -16,11 +16,20 @@
 //! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 0/2 --out s0.bin
 //! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic --shard 1/2 --out s1.bin
 //! cargo run --release --bin repro -- --merge s0.bin s1.bin --out report.json
+//!
+//! # Same fan-out over TCP (kf-dist): a coordinator dispatches one task
+//! # per preset to registered workers and merges the shard reports.
+//! cargo run --release --bin repro -- --corpus corpus.kfc --deterministic \
+//!     --serve-coordinator 127.0.0.1:0 --dist-addr-file addr.txt --out report.json &
+//! cargo run --release --bin repro -- --worker "$(cat addr.txt)" --worker-name w0 &
+//! cargo run --release --bin repro -- --worker "$(cat addr.txt)" --worker-name w1
 //! ```
 
 use kf_bench::{merge_shards, obtain_corpus, shard_presets, ParseError, ReproOptions};
+use kf_dist::{run_worker, Coordinator, CoordinatorConfig, FailSpec, WorkerConfig};
 use kf_eval::{trace_to_json, Json, MethodEval};
 use kf_telemetry::{Trace, TraceReport};
+use kf_types::checkpoint::{self, ArtifactKind};
 use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
@@ -92,6 +101,51 @@ fn main() {
     // Preset runs install their own shadowing traces (see kf-bench).
     let process = Trace::with_root("run");
     let _telemetry = kf_telemetry::install(&process);
+
+    // ---- Worker subflow: serve a coordinator until shut down ------------
+    // Runs before any corpus work: the corpus and every fusion parameter
+    // arrive over the wire. The diagnosis context (support index, truth
+    // joins) is built once per connection and reused across tasks — the
+    // corpus is shipped once, so it cannot change under the cache.
+    if let Some(addr) = &opts.worker {
+        let fault = FailSpec::from_env()
+            .unwrap_or_else(|e| fail(&format!("bad KF_DIST_FAIL fault spec: {e}")));
+        let mut config = WorkerConfig::new(addr.clone(), opts.worker_name.clone());
+        config.fail = fault;
+        let mut diagnosis = None;
+        let result = run_worker(&config, |corpus, spec| {
+            let task_opts = kf_bench::options_for_task(spec)?;
+            let ctx = if task_opts.diagnose {
+                if diagnosis.is_none() {
+                    diagnosis = kf_bench::build_diagnosis_context(&task_opts, corpus);
+                }
+                diagnosis.as_ref()
+            } else {
+                None
+            };
+            println!(
+                "worker {}: task {} [{}]",
+                opts.worker_name,
+                spec.task_id,
+                spec.presets.join(", "),
+            );
+            Ok(kf_bench::run_on_corpus_with_context(
+                &task_opts, corpus, ctx,
+            ))
+        });
+        if let Err(e) = result {
+            fail(&format!("worker {}: {e}", opts.worker_name));
+        }
+        println!(
+            "worker {}: coordinator shut us down cleanly",
+            opts.worker_name
+        );
+        if let Some(path) = &opts.trace {
+            let full = full_run_trace(&process, &[], opts.deterministic);
+            write_trace(path, &full, &[]);
+        }
+        return;
+    }
 
     // ---- Merge subflow: shard reports in, one report.json out ----------
     if opts.merge {
@@ -209,8 +263,40 @@ fn main() {
         return;
     }
 
-    // ---- Single-process run ---------------------------------------------
-    let report = kf_bench::run_on_corpus(&opts, &corpus);
+    // ---- Coordinator subflow / single-process run -----------------------
+    // A coordinator run produces the same report object a single-process
+    // run does (the shard reports merge in ablation order), so the whole
+    // output tail — summary table, KB compilation, trace — is shared.
+    let report = if let Some(bind) = &opts.serve_coordinator {
+        let tasks = kf_bench::dist_task_specs(&opts);
+        let coordinator = Coordinator::bind(
+            bind.as_str(),
+            tasks,
+            checkpoint::encode(ArtifactKind::Corpus, &corpus),
+            CoordinatorConfig {
+                verbose: true,
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot bind coordinator on {bind}: {e}")));
+        let addr = coordinator
+            .local_addr()
+            .unwrap_or_else(|e| fail(&format!("coordinator has no local address: {e}")));
+        println!(
+            "coordinator listening on {addr}: {} task(s), one preset each",
+            opts.presets.len()
+        );
+        if let Some(path) = &opts.dist_addr_file {
+            std::fs::write(path, addr.to_string())
+                .unwrap_or_else(|e| fail(&format!("failed to write address file {path}: {e}")));
+            println!("wrote coordinator address to {path}");
+        }
+        coordinator
+            .run_merged()
+            .unwrap_or_else(|e| fail(&format!("distributed run failed: {e}")))
+    } else {
+        kf_bench::run_on_corpus(&opts, &corpus)
+    };
     println!();
     print!("{}", report.summary_table());
 

@@ -24,6 +24,7 @@ use kf_diagnose::{DiagnoseConfig, Diagnoser, SupportIndex};
 use kf_eval::{AblationRunner, EvalReport, MethodEval, Preset};
 use kf_mapreduce::MrConfig;
 use kf_synth::{Corpus, SynthConfig};
+use kf_types::TaskSpec;
 use std::time::Instant;
 
 /// Why [`ReproOptions::parse`] did not produce options.
@@ -100,6 +101,20 @@ pub struct ReproOptions {
     /// Which preset's scores the KB serves (`--kb-method`, default
     /// `popaccu_plus`). Must be among the presets the report contains.
     pub kb_method: String,
+    /// Run as a distributed coordinator: bind this address, ship the
+    /// corpus to registering workers, dispatch one task per preset, and
+    /// merge the shard reports (`--serve-coordinator ADDR`).
+    pub serve_coordinator: Option<String>,
+    /// Run as a distributed worker: connect to this coordinator address
+    /// and answer tasks until told to shut down (`--worker ADDR`).
+    pub worker: Option<String>,
+    /// Name this worker announces in its handshake (`--worker-name`,
+    /// default `worker`); fault injection (`KF_DIST_FAIL`) matches on it.
+    pub worker_name: String,
+    /// Coordinator only: write the actually bound address (useful with
+    /// port 0) to this file once listening (`--dist-addr-file PATH`), so
+    /// scripts can start workers without guessing ports.
+    pub dist_addr_file: Option<String>,
 }
 
 impl Default for ReproOptions {
@@ -123,6 +138,10 @@ impl Default for ReproOptions {
             trace: None,
             build_kb: None,
             kb_method: "popaccu_plus".to_string(),
+            serve_coordinator: None,
+            worker: None,
+            worker_name: "worker".to_string(),
+            dist_addr_file: None,
         }
     }
 }
@@ -227,12 +246,62 @@ impl ReproOptions {
                     }
                     opts.kb_method = v;
                 }
+                "--serve-coordinator" => {
+                    opts.serve_coordinator = Some(value("--serve-coordinator")?)
+                }
+                "--worker" => opts.worker = Some(value("--worker")?),
+                "--worker-name" => opts.worker_name = value("--worker-name")?,
+                "--dist-addr-file" => opts.dist_addr_file = Some(value("--dist-addr-file")?),
                 "--help" | "-h" => return Err(ParseError::Help),
                 other if !other.starts_with('-') => {
                     opts.merge_inputs.push(other.to_string());
                 }
                 other => return Err(invalid(format!("unknown argument {other:?}\n{USAGE}"))),
             }
+        }
+        if opts.serve_coordinator.is_some() && opts.worker.is_some() {
+            return Err(invalid(
+                "--serve-coordinator and --worker are different processes; pick one".to_string(),
+            ));
+        }
+        if opts.serve_coordinator.is_some()
+            && (opts.shard.is_some() || opts.merge || opts.save_corpus.is_some())
+        {
+            return Err(invalid(
+                "--serve-coordinator is its own fan-out: it cannot be combined with \
+                 --shard/--merge/--save-corpus"
+                    .to_string(),
+            ));
+        }
+        if opts.worker.is_some() {
+            let conflict = opts.shard.is_some()
+                || opts.merge
+                || opts.save_corpus.is_some()
+                || opts.corpus.is_some()
+                || opts.build_kb.is_some()
+                || opts.out_explicit;
+            if conflict {
+                return Err(invalid(
+                    "--worker receives its corpus and task parameters from the \
+                     coordinator and writes no report; it cannot be combined with \
+                     --shard/--merge/--save-corpus/--corpus/--build-kb/--out/--no-out"
+                        .to_string(),
+                ));
+            }
+            if opts.scenario != "honest" {
+                return Err(invalid(
+                    "--scenario applies at corpus-generation time; a --worker fuses \
+                     whatever corpus the coordinator ships"
+                        .to_string(),
+                ));
+            }
+        }
+        if opts.dist_addr_file.is_some() && opts.serve_coordinator.is_none() {
+            return Err(invalid(
+                "--dist-addr-file only makes sense with --serve-coordinator (workers \
+                 take the address as the --worker argument)"
+                    .to_string(),
+            ));
         }
         if opts.merge {
             if opts.merge_inputs.is_empty() {
@@ -356,6 +425,21 @@ checkpointing & sharding:
                                    process and merged sharded reports are
                                    byte-identical
 
+distributed execution:
+  --serve-coordinator ADDR         bind ADDR (port 0 picks a free port),
+                                   ship the corpus to registering workers,
+                                   dispatch one task per preset, and merge
+                                   the shard reports exactly as --merge
+  --worker ADDR                    connect to a coordinator at ADDR and
+                                   answer tasks until shut down; corpus
+                                   and fusion parameters arrive over the
+                                   wire, so most other flags are rejected
+  --worker-name NAME               handshake name (default: worker); the
+                                   KF_DIST_FAIL fault injection matches it
+  --dist-addr-file PATH            coordinator: write the bound address to
+                                   PATH once listening, so scripts can
+                                   start workers without guessing ports
+
 serving:
   --build-kb PATH                  also compile the finished report into
                                    a servable FusedKb checkpoint (query
@@ -417,15 +501,61 @@ pub fn obtain_corpus(opts: &ReproOptions) -> Result<(Corpus, bool), String> {
 /// The presets shard `index` of `of` is responsible for: round-robin over
 /// `presets` (index `j` goes to shard `j % of`), so every shard gets a
 /// near-equal mix of cheap and expensive presets and the union over all
-/// shards is exactly `presets`, each exactly once.
+/// shards is exactly `presets`, each exactly once. The split itself
+/// lives in [`kf_mapreduce::round_robin`], shared with the `kf-dist`
+/// coordinator's task table.
 pub fn shard_presets(presets: &[Preset], index: usize, of: usize) -> Vec<Preset> {
-    assert!(of >= 1 && index < of, "shard {index}/{of} out of range");
-    presets
+    kf_mapreduce::round_robin(presets, index, of)
+}
+
+/// The task table a `--serve-coordinator` run dispatches: one
+/// [`TaskSpec`] per preset, in ablation order, each carrying the fusion
+/// parameters of this run. One preset per task keeps every shard report
+/// deterministic for its `(corpus, task)` pair — the property that makes
+/// re-dispatched replicas interchangeable in the merge — and gives the
+/// scheduler the finest work units the merge semantics allow.
+pub fn dist_task_specs(opts: &ReproOptions) -> Vec<TaskSpec> {
+    opts.presets
         .iter()
         .enumerate()
-        .filter(|(j, _)| j % of == index)
-        .map(|(_, &p)| p)
+        .map(|(i, preset)| TaskSpec {
+            task_id: i as u32,
+            shard_index: i as u32,
+            shard_count: opts.presets.len() as u32,
+            presets: vec![preset.name().to_string()],
+            scale: opts.scale.clone(),
+            bins: opts.bins as u64,
+            workers: opts.workers.unwrap_or(0) as u64,
+            diagnose: opts.diagnose,
+            deterministic: opts.deterministic,
+        })
         .collect()
+}
+
+/// The [`ReproOptions`] a worker reconstructs from a dispatched
+/// [`TaskSpec`]: the inverse of [`dist_task_specs`] for every field a
+/// task carries (`workers == 0` encodes "library default"). Errors on an
+/// unknown preset name — the coordinator speaking a preset this build
+/// does not know is a deployment skew the worker must surface, not fuse
+/// around.
+pub fn options_for_task(spec: &TaskSpec) -> Result<ReproOptions, String> {
+    let presets = spec
+        .presets
+        .iter()
+        .map(|name| {
+            Preset::by_name(name)
+                .ok_or_else(|| format!("task {}: unknown preset {name:?}", spec.task_id))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ReproOptions {
+        scale: spec.scale.clone(),
+        bins: spec.bins as usize,
+        workers: (spec.workers > 0).then_some(spec.workers as usize),
+        presets,
+        diagnose: spec.diagnose,
+        deterministic: spec.deterministic,
+        ..ReproOptions::default()
+    })
 }
 
 /// Load binary shard reports and merge them into the full report (the
@@ -473,6 +603,52 @@ pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
     Ok(run_on_corpus(opts, &corpus))
 }
 
+/// The per-corpus inputs the error-taxonomy diagnosis pass shares across
+/// every preset: the batch-level support index, the generator-truth and
+/// scenario-truth joins, the extractor labels, and the MapReduce
+/// configuration the diagnoser partitions under.
+///
+/// Building this is the expensive prefix of a diagnosing run (a full
+/// MapReduce over the extraction batch), so callers that fuse the same
+/// corpus repeatedly — the `kf-dist` worker running one task per preset
+/// shard — build it once with [`build_diagnosis_context`] and hand it to
+/// [`run_on_corpus_with_context`] for every task.
+pub struct DiagnosisContext {
+    support: SupportIndex,
+    truth: kf_types::FxHashMap<kf_types::Triple, kf_types::ErrorCategory>,
+    scenario: kf_types::FxHashMap<kf_types::Triple, kf_types::ScenarioPhenomenon>,
+    labels: Vec<String>,
+    mr: MrConfig,
+}
+
+/// Build the shared diagnosis inputs for `corpus`, or `None` when
+/// `opts.diagnose` is off. The support index is shared by all presets,
+/// so its cost is recorded on the *process-level* trace (under a
+/// `support_index` span), not any method's.
+pub fn build_diagnosis_context(opts: &ReproOptions, corpus: &Corpus) -> Option<DiagnosisContext> {
+    let mr = opts.workers.map_or_else(MrConfig::default, |w| MrConfig {
+        workers: w.max(1),
+        partitions: w.max(1) * 4,
+        ..MrConfig::default()
+    });
+    opts.diagnose.then(|| {
+        let _span = kf_telemetry::span("support_index");
+        let (support, _) = SupportIndex::build(&corpus.batch.records, &mr);
+        let truth = corpus.taxonomy_truth();
+        // Empty for honest corpora; hostile checkpoints carry their
+        // injected phenomena into every method's taxonomy section.
+        let scenario = corpus.scenario_truth();
+        let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
+        DiagnosisContext {
+            support,
+            truth,
+            scenario,
+            labels,
+            mr,
+        }
+    })
+}
+
 /// [`run`] over an existing corpus.
 ///
 /// Per preset: fuse (with provenance attribution when diagnosing),
@@ -480,7 +656,7 @@ pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
 /// `kf-diagnose` error-taxonomy pass so every method's report section
 /// carries the Fig. 17 breakdown plus the heuristic-vs-injected confusion
 /// matrix. The batch-level support index and generator-truth join are
-/// computed once and shared by all presets.
+/// computed once ([`build_diagnosis_context`]) and shared by all presets.
 ///
 /// Every preset runs under a fresh `kf-telemetry` trace; the resulting
 /// span tree and counters are attached as [`MethodEval::trace`], so
@@ -489,30 +665,26 @@ pub fn run(opts: &ReproOptions) -> Result<EvalReport, String> {
 /// [`EvalReport::quarantine_timings`], zeroing `fuse_ms` and every span
 /// duration.
 pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
+    let diagnosis = build_diagnosis_context(opts, corpus);
+    run_on_corpus_with_context(opts, corpus, diagnosis.as_ref())
+}
+
+/// [`run_on_corpus`] with the diagnosis inputs prebuilt (`None` disables
+/// the taxonomy pass, exactly like `opts.diagnose == false`). The
+/// context must have been built from the same corpus and equivalent
+/// options; reusing it changes nothing about the produced bytes, only
+/// skips recomputing the support index.
+pub fn run_on_corpus_with_context(
+    opts: &ReproOptions,
+    corpus: &Corpus,
+    diagnosis: Option<&DiagnosisContext>,
+) -> EvalReport {
     let runner = AblationRunner {
         n_bins: opts.bins,
         workers: opts.workers,
         scale: opts.scale.clone(),
         ..Default::default()
     };
-    let mr = opts.workers.map_or_else(MrConfig::default, |w| MrConfig {
-        workers: w.max(1),
-        partitions: w.max(1) * 4,
-        ..MrConfig::default()
-    });
-    let diagnosis = opts.diagnose.then(|| {
-        // The support index is shared by all presets, so its cost belongs
-        // to the process-level trace, not any method's.
-        let _span = kf_telemetry::span("support_index");
-        let (support, _) = SupportIndex::build(&corpus.batch.records, &mr);
-        let truth = corpus.taxonomy_truth();
-        // Empty for honest corpora; hostile checkpoints carry their
-        // injected phenomena into every method's taxonomy section.
-        let scenario = corpus.scenario_truth();
-        let labels: Vec<String> = corpus.extractors.iter().map(|e| e.name.clone()).collect();
-        (support, truth, scenario, labels)
-    });
-
     let methods: Vec<MethodEval> = opts
         .presets
         .iter()
@@ -520,7 +692,7 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
             let run_one = || -> MethodEval {
                 // Without diagnosis the ablation runner's plain path
                 // applies — no provenance attribution is built.
-                let Some((support, truth, scenario, labels)) = &diagnosis else {
+                let Some(ctx) = diagnosis else {
                     return runner.run_preset(corpus, preset);
                 };
                 let mut config = preset.config();
@@ -536,13 +708,13 @@ pub fn run_on_corpus(opts: &ReproOptions, corpus: &Corpus) -> EvalReport {
                     runner.evaluate(preset, &output, &corpus.gold, fuse_ms);
                 let taxonomy = {
                     let _span = kf_telemetry::span("diagnose");
-                    let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, support)
-                        .with_truth(truth)
-                        .with_scenario(scenario)
+                    let (taxonomy, _) = Diagnoser::new(&corpus.gold, &corpus.world, &ctx.support)
+                        .with_truth(&ctx.truth)
+                        .with_scenario(&ctx.scenario)
                         .with_attribution(&attribution)
-                        .with_extractor_labels(labels)
+                        .with_extractor_labels(&ctx.labels)
                         .with_config(DiagnoseConfig {
-                            mr,
+                            mr: ctx.mr,
                             ..Default::default()
                         })
                         .run(&output);
@@ -751,6 +923,104 @@ mod tests {
         // Merge + KB without the corpus, and merge + corpus without a KB.
         assert!(ReproOptions::parse(["--merge", "a.bin", "--build-kb", "o.kb"]).is_err());
         assert!(ReproOptions::parse(["--merge", "a.bin", "--corpus", "c.kfc"]).is_err());
+    }
+
+    #[test]
+    fn parse_dist_flags() {
+        let opts = ReproOptions::parse([
+            "--serve-coordinator",
+            "127.0.0.1:0",
+            "--dist-addr-file",
+            "addr.txt",
+            "--deterministic",
+        ])
+        .unwrap();
+        assert_eq!(opts.serve_coordinator.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.dist_addr_file.as_deref(), Some("addr.txt"));
+
+        let opts =
+            ReproOptions::parse(["--worker", "127.0.0.1:7000", "--worker-name", "w3"]).unwrap();
+        assert_eq!(opts.worker.as_deref(), Some("127.0.0.1:7000"));
+        assert_eq!(opts.worker_name, "w3");
+        assert_eq!(
+            ReproOptions::parse(Vec::<String>::new())
+                .unwrap()
+                .worker_name,
+            "worker"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_invalid_dist_combos() {
+        // One process is one role.
+        assert!(
+            ReproOptions::parse(["--serve-coordinator", "127.0.0.1:0", "--worker", "a:1"]).is_err()
+        );
+        // The coordinator replaces the process-level fan-out flags.
+        for extra in [
+            ["--shard", "0/2"],
+            ["--merge", "a.bin"],
+            ["--save-corpus", "c.kfc"],
+        ] {
+            let args = ["--serve-coordinator", "127.0.0.1:0", extra[0], extra[1]];
+            assert!(ReproOptions::parse(args).is_err(), "{extra:?}");
+        }
+        // A worker's corpus and parameters come over the wire.
+        for extra in [
+            ["--shard", "0/2"],
+            ["--merge", "a.bin"],
+            ["--save-corpus", "c.kfc"],
+            ["--corpus", "c.kfc"],
+            ["--build-kb", "o.kb"],
+            ["--out", "r.json"],
+            ["--scenario", "spam"],
+        ] {
+            let args = ["--worker", "127.0.0.1:7000", extra[0], extra[1]];
+            assert!(ReproOptions::parse(args).is_err(), "{extra:?}");
+        }
+        // The address file is the coordinator's rendezvous output.
+        assert!(ReproOptions::parse(["--dist-addr-file", "addr.txt"]).is_err());
+        assert!(ReproOptions::parse(["--worker", "a:1", "--dist-addr-file", "addr.txt"]).is_err());
+    }
+
+    #[test]
+    fn task_specs_roundtrip_through_worker_options() {
+        let opts = ReproOptions {
+            scale: "tiny".into(),
+            bins: 7,
+            workers: Some(3),
+            deterministic: true,
+            ..Default::default()
+        };
+        let specs = dist_task_specs(&opts);
+        assert_eq!(specs.len(), Preset::ALL.len());
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.task_id, i as u32);
+            assert_eq!(spec.shard_count, Preset::ALL.len() as u32);
+            assert_eq!(spec.presets, vec![Preset::ALL[i].name().to_string()]);
+            let back = options_for_task(spec).unwrap();
+            assert_eq!(back.scale, "tiny");
+            assert_eq!(back.bins, 7);
+            assert_eq!(back.workers, Some(3));
+            assert!(back.deterministic && back.diagnose);
+            assert_eq!(back.presets, vec![Preset::ALL[i]]);
+        }
+        // The union over tasks is the preset list, each exactly once —
+        // the invariant the merge's duplicate check enforces later.
+        let union: Vec<String> = specs.iter().flat_map(|s| s.presets.clone()).collect();
+        let names: Vec<String> = Preset::ALL.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(union, names);
+        // workers == 0 encodes the library default.
+        let spec = &dist_task_specs(&ReproOptions {
+            workers: None,
+            ..Default::default()
+        })[0];
+        assert_eq!(spec.workers, 0);
+        assert_eq!(options_for_task(spec).unwrap().workers, None);
+        // Unknown preset names surface as deployment skew, not a panic.
+        let mut bad = specs[0].clone();
+        bad.presets = vec!["warp-drive".into()];
+        assert!(options_for_task(&bad).unwrap_err().contains("warp-drive"));
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! The coordinator: task table, worker registry, heartbeat monitor and
+//! the re-dispatch state machine.
+//!
+//! All protocol decisions run on the thread that called
+//! [`Coordinator::run`]; one reader thread per connection does nothing
+//! but turn frames into events on a channel. That single-threaded core
+//! keeps the state machine auditable — there is exactly one place a
+//! task changes state — and means every `dist.*` counter lands on the
+//! trace installed by the caller.
+
+use crate::DistError;
+use kf_eval::EvalReport;
+use kf_types::checkpoint::{self, ArtifactKind};
+use kf_types::wire::{self, TaskSpec, WireMsg, PROTOCOL_VERSION};
+use kf_types::FORMAT_VERSION;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a coordinator run. `Default` is sized for real
+/// (CI/operator) runs; tests shrink the intervals.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Cadence workers are told to heartbeat at ([`WireMsg::Welcome`]).
+    pub heartbeat_interval: Duration,
+    /// Silence after which a worker is declared lost and its in-flight
+    /// tasks re-queued. Must comfortably exceed the interval.
+    pub heartbeat_timeout: Duration,
+    /// Delay before the first re-dispatch of a failed task; doubles on
+    /// every further attempt of the same task.
+    pub redispatch_backoff: Duration,
+    /// Re-dispatches a single task may consume before the run aborts
+    /// with [`DistError::TaskExhausted`].
+    pub max_redispatch: u32,
+    /// With tasks outstanding, how long the run tolerates having no
+    /// live workers (and no progress) before aborting with
+    /// [`DistError::NoWorkers`].
+    pub idle_timeout: Duration,
+    /// Tasks a single worker may have outstanding at once. Workers fuse
+    /// serially, so anything beyond 1 only front-loads the queue of
+    /// whoever registers first — later registrants would sit idle — and
+    /// widens the re-dispatch blast radius when that worker dies.
+    pub max_in_flight: usize,
+    /// Narrate registrations, dispatches, losses and completions on
+    /// stderr — the operator transcript; tests leave it off.
+    pub verbose: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_millis(2_500),
+            redispatch_backoff: Duration::from_millis(100),
+            max_redispatch: 5,
+            idle_timeout: Duration::from_secs(60),
+            max_in_flight: 1,
+            verbose: false,
+        }
+    }
+}
+
+/// A bound coordinator, ready to [`run`](Coordinator::run). Binding is
+/// separate from running so callers (tests, the `--dist-addr-file`
+/// subflow) can learn the OS-assigned port before any worker starts.
+pub struct Coordinator {
+    listener: TcpListener,
+    tasks: Vec<TaskSpec>,
+    corpus_bytes: Vec<u8>,
+    config: CoordinatorConfig,
+}
+
+/// What a connection's reader thread reports to the core loop.
+enum Event {
+    /// One decoded frame, plus its size on the wire.
+    Frame {
+        conn: usize,
+        msg: WireMsg,
+        bytes: u64,
+    },
+    /// The connection hit EOF or an error; no more frames will come.
+    Closed { conn: usize },
+}
+
+/// Where a task is in its life cycle.
+#[derive(Debug)]
+enum TaskStatus {
+    /// Waiting for dispatch, not before the embedded deadline (backoff).
+    Pending { not_before: Instant },
+    /// Sent to a worker, result outstanding. (Which worker is tracked
+    /// in the per-worker `in_flight` ledgers, where loss handling
+    /// needs it.)
+    Running,
+    /// A completion was accepted; later replicas are duplicates.
+    Done,
+}
+
+struct TaskState {
+    status: TaskStatus,
+    /// Dispatches consumed so far (first dispatch counts as 1).
+    attempts: u32,
+    last_error: String,
+    report: Option<EvalReport>,
+}
+
+/// A registered worker's scheduling state.
+struct WorkerState {
+    name: String,
+    last_seen: Instant,
+    /// Lost workers are never dispatched to again, but their socket
+    /// stays open: a hung worker may still deliver a late completion,
+    /// which first-wins/duplicate accounting handles.
+    lost: bool,
+    in_flight: Vec<u32>,
+}
+
+struct ConnState {
+    stream: TcpStream,
+    open: bool,
+    worker: Option<WorkerState>,
+}
+
+/// The single-threaded protocol core.
+struct Engine {
+    conns: Vec<ConnState>,
+    tasks: Vec<TaskState>,
+    specs: Vec<TaskSpec>,
+    config: CoordinatorConfig,
+    last_progress: Instant,
+    fatal: Option<DistError>,
+}
+
+impl Coordinator {
+    /// Bind the coordinator socket. `addr` may use port 0 to let the OS
+    /// pick; read the result back with [`local_addr`](Self::local_addr).
+    pub fn bind(
+        addr: &str,
+        tasks: Vec<TaskSpec>,
+        corpus_bytes: Vec<u8>,
+        config: CoordinatorConfig,
+    ) -> Result<Coordinator, DistError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator {
+            listener,
+            tasks,
+            corpus_bytes,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Drive the job to completion and return the shard reports in task
+    /// order. Blocks the calling thread; workers may connect at any
+    /// point during the run.
+    pub fn run(self) -> Result<Vec<EvalReport>, DistError> {
+        let corpus_msg = WireMsg::Corpus {
+            bytes: self.corpus_bytes,
+        };
+        let mut engine = Engine {
+            conns: Vec::new(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|_| TaskState {
+                    status: TaskStatus::Pending {
+                        not_before: Instant::now(),
+                    },
+                    attempts: 0,
+                    last_error: String::new(),
+                    report: None,
+                })
+                .collect(),
+            specs: self.tasks,
+            config: self.config,
+            last_progress: Instant::now(),
+            fatal: None,
+        };
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut readers = Vec::new();
+
+        let outcome = loop {
+            // Admit new connections; each gets a dedicated reader thread.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Accepted sockets may inherit the listener's
+                        // nonblocking flag on some platforms; readers
+                        // want blocking reads.
+                        stream.set_nonblocking(false)?;
+                        let _ = stream.set_nodelay(true);
+                        let conn = engine.conns.len();
+                        let mut read_half = stream.try_clone()?;
+                        let tx = tx.clone();
+                        readers.push(std::thread::spawn(move || loop {
+                            match wire::read_frame(&mut read_half) {
+                                Ok((msg, bytes)) => {
+                                    if tx
+                                        .send(Event::Frame {
+                                            conn,
+                                            msg,
+                                            bytes: bytes as u64,
+                                        })
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
+                                }
+                                Err(_) => {
+                                    let _ = tx.send(Event::Closed { conn });
+                                    break;
+                                }
+                            }
+                        }));
+                        engine.conns.push(ConnState {
+                            stream,
+                            open: true,
+                            worker: None,
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+
+            // Drain the event queue (bounded wait doubles as the tick).
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(event) => {
+                    engine.handle(event, &corpus_msg);
+                    while let Ok(event) = rx.try_recv() {
+                        engine.handle(event, &corpus_msg);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx kept alive above"),
+            }
+
+            engine.check_heartbeats();
+            engine.dispatch_pending();
+
+            if let Some(fatal) = engine.fatal.take() {
+                break Err(fatal);
+            }
+            if engine
+                .tasks
+                .iter()
+                .all(|t| matches!(t.status, TaskStatus::Done))
+            {
+                break Ok(());
+            }
+            let live = engine
+                .conns
+                .iter()
+                .any(|c| c.open && c.worker.as_ref().is_some_and(|w| !w.lost));
+            if !live && engine.last_progress.elapsed() > engine.config.idle_timeout {
+                break Err(DistError::NoWorkers);
+            }
+        };
+
+        // Teardown: tell survivors to exit, then unblock and join every
+        // reader. Errors here don't change the outcome.
+        for conn in 0..engine.conns.len() {
+            if engine.conns[conn].open && engine.conns[conn].worker.is_some() {
+                engine.send(conn, &WireMsg::Shutdown);
+            }
+        }
+        for conn in &mut engine.conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        drop(tx);
+        for reader in readers {
+            let _ = reader.join();
+        }
+
+        outcome?;
+        Ok(engine
+            .tasks
+            .into_iter()
+            .map(|t| t.report.expect("all tasks done on the success path"))
+            .collect())
+    }
+
+    /// [`run`](Self::run), then merge the shard reports exactly as the
+    /// `--merge` subflow does.
+    pub fn run_merged(self) -> Result<EvalReport, DistError> {
+        let reports = self.run()?;
+        kf_eval::merge_reports(reports).map_err(|e| DistError::Merge(e.to_string()))
+    }
+}
+
+impl Engine {
+    /// Operator narration (the README transcript); off by default.
+    fn log(&self, line: String) {
+        if self.config.verbose {
+            eprintln!("[coordinator] {line}");
+        }
+    }
+
+    /// Display name for a connection: the registered worker name, or
+    /// the connection id for unregistered peers.
+    fn worker_name(&self, conn: usize) -> String {
+        match self.conns[conn].worker.as_ref() {
+            Some(w) => w.name.clone(),
+            None => format!("conn#{conn}"),
+        }
+    }
+
+    fn handle(&mut self, event: Event, corpus_msg: &WireMsg) {
+        match event {
+            Event::Closed { conn } => self.drop_conn(conn),
+            Event::Frame { conn, msg, bytes } => {
+                kf_telemetry::add("dist.rpc.recv", 1);
+                kf_telemetry::record_traffic("dist.rpc.recv_bytes", bytes);
+                match msg {
+                    WireMsg::Hello {
+                        protocol,
+                        format,
+                        worker,
+                    } => self.handle_hello(conn, protocol, format, worker, corpus_msg),
+                    WireMsg::Heartbeat { .. } => {
+                        if let Some(w) = self.conns[conn].worker.as_mut() {
+                            w.last_seen = Instant::now();
+                        }
+                    }
+                    WireMsg::TaskDone { task_id, report } => {
+                        self.handle_done(conn, task_id, &report)
+                    }
+                    WireMsg::TaskFailed { task_id, error } => {
+                        kf_telemetry::add("dist.task.failed", 1);
+                        self.requeue(task_id, &error);
+                    }
+                    other => {
+                        // A coordinator-only message echoed back, or a
+                        // frame before Hello: protocol violation.
+                        kf_telemetry::add("dist.rpc.protocol_error", 1);
+                        let _ = other;
+                        self.drop_conn(conn);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_hello(
+        &mut self,
+        conn: usize,
+        protocol: u32,
+        format: u16,
+        name: String,
+        corpus_msg: &WireMsg,
+    ) {
+        if self.conns[conn].worker.is_some() {
+            self.drop_conn(conn); // double Hello
+            return;
+        }
+        if protocol != PROTOCOL_VERSION || format != FORMAT_VERSION {
+            let reason = format!(
+                "version skew: worker speaks protocol {protocol} / format {format}, \
+                 coordinator speaks {PROTOCOL_VERSION} / {FORMAT_VERSION}"
+            );
+            self.send(conn, &WireMsg::Reject { reason });
+            self.drop_conn(conn);
+            return;
+        }
+        let welcome = WireMsg::Welcome {
+            worker_id: conn as u32,
+            heartbeat_interval_ms: self.config.heartbeat_interval.as_millis() as u64,
+        };
+        if self.send(conn, &welcome) && self.send(conn, corpus_msg) {
+            self.log(format!(
+                "registered worker {name} (id {conn}), corpus shipped"
+            ));
+            self.conns[conn].worker = Some(WorkerState {
+                name,
+                last_seen: Instant::now(),
+                lost: false,
+                in_flight: Vec::new(),
+            });
+            kf_telemetry::add("dist.worker.registered", 1);
+            self.last_progress = Instant::now();
+        }
+    }
+
+    fn handle_done(&mut self, conn: usize, task_id: u32, report_bytes: &[u8]) {
+        let Some(task) = self.tasks.get_mut(task_id as usize) else {
+            self.drop_conn(conn);
+            return;
+        };
+        if matches!(task.status, TaskStatus::Done) {
+            // A re-dispatched task completed twice (hung worker woke
+            // up, or two replicas raced). First completion won; this
+            // one is suppressed so the merge never double-counts.
+            kf_telemetry::add("dist.task.duplicate", 1);
+            self.log(format!(
+                "suppressed duplicate completion of task {task_id} from {}",
+                self.worker_name(conn)
+            ));
+            return;
+        }
+        match checkpoint::decode::<EvalReport>(ArtifactKind::Report, report_bytes) {
+            Ok(report) => {
+                task.status = TaskStatus::Done;
+                task.report = Some(report);
+                kf_telemetry::add("dist.task.completed", 1);
+                self.log(format!(
+                    "task {task_id} completed by {}",
+                    self.worker_name(conn)
+                ));
+                // The winning replica may not be the one this task is
+                // marked Running on; clear it from every ledger.
+                for c in &mut self.conns {
+                    if let Some(w) = c.worker.as_mut() {
+                        w.in_flight.retain(|&t| t != task_id);
+                    }
+                }
+                self.last_progress = Instant::now();
+            }
+            Err(e) => {
+                kf_telemetry::add("dist.task.failed", 1);
+                self.requeue(task_id, &format!("undecodable shard report: {e}"));
+            }
+        }
+    }
+
+    /// Return a task to the pending queue with exponentially backed-off
+    /// eligibility. No-op unless the task is currently `Running`.
+    fn requeue(&mut self, task_id: u32, error: &str) {
+        let Some(task) = self.tasks.get_mut(task_id as usize) else {
+            return;
+        };
+        if !matches!(task.status, TaskStatus::Running) {
+            return;
+        }
+        task.last_error = error.to_string();
+        if task.attempts > self.config.max_redispatch {
+            self.fatal = Some(DistError::TaskExhausted {
+                task_id,
+                attempts: task.attempts,
+                last_error: task.last_error.clone(),
+            });
+            return;
+        }
+        let backoff = self.config.redispatch_backoff
+            * 2u32.saturating_pow(task.attempts.saturating_sub(1).min(16));
+        task.status = TaskStatus::Pending {
+            not_before: Instant::now() + backoff,
+        };
+        for c in &mut self.conns {
+            if let Some(w) = c.worker.as_mut() {
+                w.in_flight.retain(|&t| t != task_id);
+            }
+        }
+    }
+
+    /// Declare workers with stale heartbeats lost and re-queue their
+    /// in-flight tasks. The socket stays open — see [`WorkerState::lost`].
+    fn check_heartbeats(&mut self) {
+        let timeout = self.config.heartbeat_timeout;
+        let mut orphaned: Vec<u32> = Vec::new();
+        let mut stale: Vec<String> = Vec::new();
+        for conn in &mut self.conns {
+            if !conn.open {
+                continue;
+            }
+            if let Some(w) = conn.worker.as_mut() {
+                if !w.lost && w.last_seen.elapsed() > timeout {
+                    w.lost = true;
+                    kf_telemetry::add("dist.worker.lost", 1);
+                    stale.push(w.name.clone());
+                    orphaned.append(&mut w.in_flight);
+                }
+            }
+        }
+        for name in stale {
+            self.log(format!(
+                "worker {name} lost (heartbeats stale); re-queueing its tasks"
+            ));
+        }
+        for task_id in orphaned {
+            self.requeue(task_id, "worker heartbeats went stale");
+        }
+    }
+
+    /// Hand every due pending task to the live worker with the least
+    /// in-flight load (lowest connection id on ties).
+    fn dispatch_pending(&mut self) {
+        let now = Instant::now();
+        for task_id in 0..self.tasks.len() {
+            let due = match self.tasks[task_id].status {
+                TaskStatus::Pending { not_before } => not_before <= now,
+                _ => false,
+            };
+            if !due {
+                continue;
+            }
+            let target = self
+                .conns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.open
+                        && c.worker.as_ref().is_some_and(|w| {
+                            !w.lost && w.in_flight.len() < self.config.max_in_flight
+                        })
+                })
+                .min_by_key(|&(id, c)| {
+                    (
+                        c.worker.as_ref().map_or(usize::MAX, |w| w.in_flight.len()),
+                        id,
+                    )
+                })
+                .map(|(id, _)| id);
+            let Some(conn) = target else {
+                // Every live worker is at capacity (or none exists);
+                // the task stays pending until a slot frees up.
+                return;
+            };
+            let msg = WireMsg::Task {
+                spec: self.specs[task_id].clone(),
+            };
+            if self.send(conn, &msg) {
+                self.log(format!(
+                    "dispatch task {task_id} -> worker {}",
+                    self.worker_name(conn)
+                ));
+                let task = &mut self.tasks[task_id];
+                task.status = TaskStatus::Running;
+                kf_telemetry::add("dist.task.dispatched", 1);
+                if task.attempts > 0 {
+                    kf_telemetry::add("dist.task.redispatched", 1);
+                }
+                task.attempts += 1;
+                if let Some(w) = self.conns[conn].worker.as_mut() {
+                    w.in_flight.push(task_id as u32);
+                }
+                self.last_progress = Instant::now();
+            }
+            // On send failure the connection was dropped and its tasks
+            // re-queued; the next tick retries against survivors.
+        }
+    }
+
+    /// Write one frame; on failure the connection is dropped (with its
+    /// tasks re-queued) and `false` returned.
+    fn send(&mut self, conn: usize, msg: &WireMsg) -> bool {
+        if !self.conns[conn].open {
+            return false;
+        }
+        match wire::write_frame(&mut self.conns[conn].stream, msg) {
+            Ok(bytes) => {
+                kf_telemetry::add("dist.rpc.sent", 1);
+                kf_telemetry::record_traffic("dist.rpc.sent_bytes", bytes as u64);
+                true
+            }
+            Err(_) => {
+                self.drop_conn(conn);
+                false
+            }
+        }
+    }
+
+    /// Close a connection and re-queue whatever it was running.
+    fn drop_conn(&mut self, conn: usize) {
+        let state = &mut self.conns[conn];
+        if !state.open {
+            return;
+        }
+        state.open = false;
+        let _ = state.stream.shutdown(Shutdown::Both);
+        let (name, orphaned) = match state.worker.as_mut() {
+            Some(w) => {
+                if !w.lost {
+                    w.lost = true;
+                    kf_telemetry::add("dist.worker.lost", 1);
+                }
+                (Some(w.name.clone()), std::mem::take(&mut w.in_flight))
+            }
+            None => (None, Vec::new()),
+        };
+        if let Some(name) = name {
+            self.log(format!(
+                "worker {name} lost (connection closed); re-queueing its tasks"
+            ));
+        }
+        for task_id in orphaned {
+            self.requeue(task_id, "worker connection closed");
+        }
+    }
+}

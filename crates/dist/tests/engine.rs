@@ -1,0 +1,310 @@
+//! End-to-end coordinator/worker tests over localhost TCP: clean runs,
+//! injected worker death (kill), hung workers (mute), task failure
+//! retry, version-skew rejection, and the no-workers timeout.
+//!
+//! The invariant every fault scenario pins: the merged report is
+//! byte-identical to the reference single-process report, no matter
+//! which worker died when.
+
+use kf_dist::{run_worker, Coordinator, CoordinatorConfig, DistError, FailSpec, WorkerConfig};
+use kf_eval::{merge_reports, AblationRunner, EvalReport, Preset};
+use kf_synth::{Corpus, SynthConfig};
+use kf_types::checkpoint::{self, ArtifactKind};
+use kf_types::wire::{self, TaskSpec, WireMsg, PROTOCOL_VERSION};
+use kf_types::FORMAT_VERSION;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tiny_corpus() -> Corpus {
+    Corpus::generate(&SynthConfig::tiny(), 11)
+}
+
+fn ablation() -> AblationRunner {
+    AblationRunner {
+        n_bins: 10,
+        workers: Some(2),
+        scale: "tiny".into(),
+        ..Default::default()
+    }
+}
+
+/// One task per preset — the same split the repro CLI dispatches.
+fn task_specs() -> Vec<TaskSpec> {
+    Preset::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TaskSpec {
+            task_id: i as u32,
+            shard_index: i as u32,
+            shard_count: Preset::ALL.len() as u32,
+            presets: vec![p.name().to_string()],
+            scale: "tiny".into(),
+            bins: 10,
+            workers: 2,
+            diagnose: false,
+            deterministic: true,
+        })
+        .collect()
+}
+
+/// The worker-side task runner: fuse the task's presets, quarantine
+/// timings (the tasks say `deterministic`).
+fn run_task(corpus: &Corpus, spec: &TaskSpec) -> Result<EvalReport, String> {
+    let runner = ablation();
+    let methods = spec
+        .presets
+        .iter()
+        .map(|name| {
+            let preset = Preset::by_name(name).ok_or_else(|| format!("unknown preset {name}"))?;
+            Ok(runner.run_preset(corpus, preset))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let mut report = EvalReport {
+        corpus: runner.corpus_summary(corpus),
+        methods,
+    };
+    report.quarantine_timings();
+    Ok(report)
+}
+
+/// The single-process reference the distributed merge must reproduce.
+fn reference_report(corpus: &Corpus) -> EvalReport {
+    let mut report = ablation().run(corpus);
+    report.quarantine_timings();
+    report
+}
+
+fn test_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_timeout: Duration::from_millis(150),
+        redispatch_backoff: Duration::from_millis(5),
+        max_redispatch: 10,
+        idle_timeout: Duration::from_secs(30),
+        max_in_flight: 1,
+        verbose: false,
+    }
+}
+
+fn bind_coordinator(corpus: &Corpus, config: CoordinatorConfig) -> (Coordinator, String) {
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        task_specs(),
+        checkpoint::encode(ArtifactKind::Corpus, corpus),
+        config,
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    (coordinator, addr)
+}
+
+#[test]
+fn distributed_run_matches_single_process_report() {
+    let corpus = tiny_corpus();
+    let (coordinator, addr) = bind_coordinator(&corpus, test_config());
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(&WorkerConfig::new(addr, format!("w{i}")), run_task)
+            })
+        })
+        .collect();
+    let merged = coordinator.run_merged().expect("distributed run");
+    for w in workers {
+        w.join().unwrap().expect("worker exits cleanly");
+    }
+    assert_eq!(
+        merged.to_json_string(),
+        reference_report(&corpus).to_json_string(),
+        "merged distributed report must be byte-identical to the single-process run"
+    );
+}
+
+#[test]
+fn killed_worker_shard_is_redispatched_to_survivor() {
+    let corpus = tiny_corpus();
+    let (coordinator, addr) = bind_coordinator(&corpus, test_config());
+    // Frames at the victim: hello(1) welcome(2) corpus(3) task(4) —
+    // it dies the moment its first task arrives, before running it.
+    let victim = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut config = WorkerConfig::new(addr, "victim");
+            config.fail = Some(FailSpec::parse("victim:4:kill").unwrap());
+            run_worker(&config, run_task)
+        })
+    };
+    let survivor = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, "survivor"), run_task))
+    };
+    let merged = coordinator
+        .run_merged()
+        .expect("run survives a worker kill");
+    assert!(
+        matches!(victim.join().unwrap(), Err(DistError::Injected)),
+        "victim must report the injected kill"
+    );
+    survivor.join().unwrap().expect("survivor exits cleanly");
+    assert_eq!(
+        merged.to_json_string(),
+        reference_report(&corpus).to_json_string()
+    );
+}
+
+#[test]
+fn mute_worker_is_timed_out_and_its_late_result_suppressed() {
+    let corpus = tiny_corpus();
+    let (coordinator, addr) = bind_coordinator(&corpus, test_config());
+    // The mute worker stops heartbeating when its first task arrives
+    // and then takes much longer than the heartbeat timeout, so the
+    // coordinator re-dispatches; its eventual completion exercises the
+    // first-wins/duplicate path.
+    let mute = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut config = WorkerConfig::new(addr, "mute");
+            config.fail = Some(FailSpec::parse("mute:4:mute").unwrap());
+            run_worker(&config, |corpus, spec| {
+                std::thread::sleep(Duration::from_millis(500));
+                run_task(corpus, spec)
+            })
+        })
+    };
+    let fast = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, "fast"), run_task))
+    };
+    // Run under a trace so the completion accounting is checkable: every
+    // task completes exactly once; replicas land in the duplicate
+    // counter, never in completed.
+    let trace = kf_telemetry::Trace::new();
+    let merged = {
+        let _installed = kf_telemetry::install(&trace);
+        coordinator
+            .run_merged()
+            .expect("run survives a hung worker")
+    };
+    let _ = mute.join().unwrap(); // exits Ok (late shutdown) or with a broken pipe
+    fast.join().unwrap().expect("fast worker exits cleanly");
+    let report = trace.snapshot();
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(
+        counter("dist.task.completed"),
+        Preset::ALL.len() as u64,
+        "each task completes exactly once; replicas are suppressed"
+    );
+    assert!(counter("dist.worker.lost") >= 1, "mute worker must be lost");
+    assert_eq!(
+        merged.to_json_string(),
+        reference_report(&corpus).to_json_string()
+    );
+}
+
+#[test]
+fn failing_task_is_retried_until_a_worker_succeeds() {
+    let corpus = tiny_corpus();
+    let (coordinator, addr) = bind_coordinator(&corpus, test_config());
+    // This worker fails its first task (the coordinator re-queues it
+    // with backoff) and succeeds afterwards.
+    let flaky = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut failed_once = false;
+            run_worker(&WorkerConfig::new(addr, "flaky"), move |corpus, spec| {
+                if !failed_once {
+                    failed_once = true;
+                    return Err("injected first-task failure".into());
+                }
+                run_task(corpus, spec)
+            })
+        })
+    };
+    let steady = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, "steady"), run_task))
+    };
+    let merged = coordinator
+        .run_merged()
+        .expect("run survives task failures");
+    flaky.join().unwrap().expect("flaky worker exits cleanly");
+    steady.join().unwrap().expect("steady worker exits cleanly");
+    assert_eq!(
+        merged.to_json_string(),
+        reference_report(&corpus).to_json_string()
+    );
+}
+
+#[test]
+fn version_skew_is_rejected_at_the_handshake() {
+    let corpus = tiny_corpus();
+    let (coordinator, addr) = bind_coordinator(&corpus, test_config());
+    let skewed = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            wire::write_frame(
+                &mut stream,
+                &WireMsg::Hello {
+                    protocol: PROTOCOL_VERSION + 1,
+                    format: FORMAT_VERSION,
+                    worker: "stale-build".into(),
+                },
+            )
+            .expect("send hello");
+            match wire::read_frame(&mut stream).expect("read reply").0 {
+                WireMsg::Reject { reason } => reason,
+                other => panic!("expected reject, got {}", other.name()),
+            }
+        })
+    };
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, "current"), run_task))
+    };
+    let merged = coordinator.run_merged().expect("run completes");
+    let reason = skewed.join().unwrap();
+    assert!(reason.contains("version skew"), "{reason}");
+    worker
+        .join()
+        .unwrap()
+        .expect("current worker exits cleanly");
+    assert_eq!(merged.methods.len(), Preset::ALL.len());
+}
+
+#[test]
+fn run_without_workers_hits_the_idle_timeout() {
+    let corpus = tiny_corpus();
+    let mut config = test_config();
+    config.idle_timeout = Duration::from_millis(200);
+    let (coordinator, _addr) = bind_coordinator(&corpus, config);
+    match coordinator.run() {
+        Err(DistError::NoWorkers) => {}
+        other => panic!("expected NoWorkers, got {other:?}"),
+    }
+}
+
+#[test]
+fn shard_reports_merge_like_the_offline_path() {
+    // The coordinator's merge is literally kf_eval::merge_reports; a
+    // direct merge of per-task reports equals the reference too, so
+    // task order cannot matter.
+    let corpus = tiny_corpus();
+    let mut reports: Vec<EvalReport> = task_specs()
+        .iter()
+        .map(|spec| run_task(&corpus, spec).unwrap())
+        .collect();
+    reports.reverse();
+    let merged = merge_reports(reports).expect("merge");
+    assert_eq!(
+        merged.to_json_string(),
+        reference_report(&corpus).to_json_string()
+    );
+}

@@ -42,6 +42,7 @@
 
 pub mod driver;
 pub mod engine;
+pub mod job;
 pub mod sampling;
 mod spill;
 pub mod stats;
@@ -51,5 +52,6 @@ pub use engine::{
     map_reduce, map_reduce_combined, map_reduce_combined_with_stats, map_reduce_with_stats,
     Combiner, Emitter, MrConfig,
 };
+pub use job::{round_robin, JobDescription};
 pub use sampling::Reservoir;
 pub use stats::JobStats;

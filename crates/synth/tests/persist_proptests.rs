@@ -152,12 +152,12 @@ proptest! {
 fn stale_format_versions_are_rejected_with_typed_skew() {
     use kf_types::checkpoint::{self, ArtifactKind, CheckpointError, FORMAT_VERSION};
     assert_eq!(
-        FORMAT_VERSION, 5,
-        "trace histograms shipped in v5; bump this test alongside the format"
+        FORMAT_VERSION, 6,
+        "the dist wire protocol shipped in v6; bump this test alongside the format"
     );
     let corpus = Corpus::generate(&SynthConfig::tiny(), 7);
     let mut bytes = checkpoint::encode(ArtifactKind::Corpus, &corpus);
-    for stale in [4u16, 3, 2, 1] {
+    for stale in [5u16, 4, 3, 2, 1] {
         bytes[4..6].copy_from_slice(&stale.to_le_bytes());
         match checkpoint::decode::<Corpus>(ArtifactKind::Corpus, &bytes) {
             Err(CheckpointError::VersionSkew { found }) => assert_eq!(found, stale),

@@ -27,6 +27,9 @@
 //! timings by `TraceReport::quarantine_timings`; [`HistKind::Value`]
 //! histograms record data quantities (result sizes, wave record counts)
 //! and keep their full distribution in the deterministic ledger.
+//! [`HistKind::Traffic`] histograms record wire frames, where even the
+//! observation count is scheduling-dependent (heartbeats, re-dispatch),
+//! so the quarantine clears count, sum and buckets alike.
 
 use kf_types::KvCodec;
 
@@ -81,6 +84,12 @@ pub enum HistKind {
     /// Data quantities (record counts, result sizes). Fully
     /// deterministic: buckets and sum survive the quarantine.
     Value,
+    /// Wire traffic (frame sizes in bytes). Fully *non*-deterministic:
+    /// how many frames flow depends on heartbeat scheduling and
+    /// re-dispatch timing, so under `--deterministic` the observation
+    /// *count* is quarantined along with the distribution — the ledger
+    /// keeps only that the histogram exists.
+    Traffic,
 }
 
 impl HistKind {
@@ -89,6 +98,7 @@ impl HistKind {
         match self {
             HistKind::Time => "time",
             HistKind::Value => "value",
+            HistKind::Traffic => "traffic",
         }
     }
 }
@@ -241,12 +251,14 @@ impl KvCodec for HistKind {
         out.push(match self {
             HistKind::Time => 0,
             HistKind::Value => 1,
+            HistKind::Traffic => 2,
         });
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         match u8::decode(input)? {
             0 => Some(HistKind::Time),
             1 => Some(HistKind::Value),
+            2 => Some(HistKind::Traffic),
             _ => None,
         }
     }

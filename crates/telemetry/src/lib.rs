@@ -21,7 +21,8 @@
 //!   [`HistKind`].
 //! * a thread-local installation ([`install`]) with free functions
 //!   ([`span`], [`add`], [`record_max`], [`push_series`],
-//!   [`record_time`], [`record_value`], [`set_gauge`]) that are
+//!   [`record_time`], [`record_value`], [`record_traffic`],
+//!   [`set_gauge`]) that are
 //!   no-ops when no trace is installed — so library code instruments
 //!   unconditionally and pays nothing in untraced runs.
 //! * [`TraceReport`] — the frozen snapshot: mergeable across shard runs
@@ -62,8 +63,9 @@ pub use report::{
     fmt_ns, CounterSnapshot, MergeRule, SeriesSnapshot, SpanNode, TraceReport, MAX_SPAN_DEPTH,
 };
 pub use runtime::{
-    add, current, install, push_series, record_max, record_time, record_value, set_gauge, span,
-    ActiveSpan, CounterHandle, HistogramHandle, InstallGuard, LiveHistogram, SpanGuard, Trace,
+    add, current, install, push_series, record_max, record_time, record_traffic, record_value,
+    set_gauge, span, ActiveSpan, CounterHandle, HistogramHandle, InstallGuard, LiveHistogram,
+    SpanGuard, Trace,
 };
 
 #[cfg(test)]
@@ -393,6 +395,35 @@ mod tests {
         assert_eq!((value.count, value.sum), (2, 128));
         assert_eq!(value.buckets.len(), 1);
         assert_eq!(a.gauges.len(), 1, "gauges survive the quarantine");
+    }
+
+    #[test]
+    fn traffic_histograms_are_fully_quarantined() {
+        let t = Trace::new();
+        t.record_traffic("dist.rpc.sent_bytes", 1_024);
+        t.record_traffic("dist.rpc.sent_bytes", 96);
+        t.record_value("dist.tasks", 5);
+        let mut report = t.snapshot();
+
+        // Traffic histograms roundtrip through the codec like any other.
+        let mut buf = Vec::new();
+        report.histograms[0].encode(&mut buf);
+        assert_eq!(
+            HistogramSnapshot::decode(&mut &buf[..]).unwrap(),
+            report.histograms[0]
+        );
+        assert_eq!(report.histograms[0].kind, HistKind::Traffic);
+        assert_eq!(report.histograms[0].kind.name(), "traffic");
+
+        // The quarantine clears count, sum and buckets — frame counts
+        // depend on heartbeat scheduling, so nothing about a Traffic
+        // histogram beyond its presence is deterministic.
+        report.quarantine_timings();
+        let traffic = &report.histograms[0];
+        assert_eq!((traffic.count, traffic.sum), (0, 0));
+        assert!(traffic.buckets.is_empty());
+        let value = &report.histograms[1];
+        assert_eq!((value.count, value.sum), (1, 5), "Value kind untouched");
     }
 
     #[test]

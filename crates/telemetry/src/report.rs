@@ -252,17 +252,25 @@ impl TraceReport {
         self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
-    /// Zero every wall-clock field: span `total_ns` throughout the tree
-    /// and the value distribution (buckets, sum) of every
-    /// [`HistKind::Time`] histogram. Calls, counters, series, gauges,
-    /// histogram observation counts, and [`HistKind::Value`] histograms
-    /// — the deterministic section — stay untouched. The
-    /// `--deterministic` quarantine.
+    /// Zero every wall-clock field: span `total_ns` throughout the tree,
+    /// the value distribution (buckets, sum) of every
+    /// [`HistKind::Time`] histogram, and *all* of every
+    /// [`HistKind::Traffic`] histogram — wire frame counts depend on
+    /// heartbeat scheduling, so even their observation count is
+    /// scheduling noise. Calls, counters, series, gauges, `Time`
+    /// observation counts, and [`HistKind::Value`] histograms — the
+    /// deterministic section — stay untouched. The `--deterministic`
+    /// quarantine.
     pub fn quarantine_timings(&mut self) {
         self.root.zero_timings();
         for h in &mut self.histograms {
-            if h.kind == HistKind::Time {
-                h.clear_values();
+            match h.kind {
+                HistKind::Time => h.clear_values(),
+                HistKind::Traffic => {
+                    h.count = 0;
+                    h.clear_values();
+                }
+                HistKind::Value => {}
             }
         }
     }
@@ -320,7 +328,7 @@ impl TraceReport {
             for h in &self.histograms {
                 let q = |q: f64| match h.kind {
                     HistKind::Time => fmt_ns(h.quantile(q)),
-                    HistKind::Value => h.quantile(q).to_string(),
+                    HistKind::Value | HistKind::Traffic => h.quantile(q).to_string(),
                 };
                 let _ = writeln!(
                     s,

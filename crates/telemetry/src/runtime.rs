@@ -272,6 +272,12 @@ impl Trace {
         self.histogram(name, HistKind::Value).record(value);
     }
 
+    /// Record a wire-frame size (bytes) into the named
+    /// [`HistKind::Traffic`] histogram.
+    pub fn record_traffic(&self, name: &'static str, bytes: u64) {
+        self.histogram(name, HistKind::Traffic).record(bytes);
+    }
+
     /// Set the named gauge to `value` (last write wins).
     pub fn set_gauge(&self, name: &'static str, value: f64) {
         lock_unpoisoned(&self.inner.gauges).insert(name, value);
@@ -515,6 +521,14 @@ pub fn record_time(name: &'static str, ns: u64) {
 pub fn record_value(name: &'static str, value: u64) {
     if let Some(t) = current() {
         t.record_value(name, value);
+    }
+}
+
+/// Record a wire-frame size (bytes) into a [`HistKind::Traffic`]
+/// histogram on the installed trace; no-op without one.
+pub fn record_traffic(name: &'static str, bytes: u64) {
+    if let Some(t) = current() {
+        t.record_traffic(name, bytes);
     }
 }
 

@@ -59,7 +59,11 @@ pub const MAGIC: [u8; 4] = *b"KFCP";
 /// Version 5: live metrics — `TraceReport` gained histogram and gauge
 /// sections, changing the bytes of every checkpointed trace (traces
 /// ride inside shard reports).
-pub const FORMAT_VERSION: u16 = 5;
+/// Version 6: distributed execution — `HistKind` gained the fully
+/// quarantined `Traffic` variant for wire-traffic histograms whose
+/// message *counts* depend on heartbeat scheduling; histogram kinds
+/// ride inside checkpointed traces, so older readers must reject.
+pub const FORMAT_VERSION: u16 = 6;
 
 /// What a checkpoint file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -33,6 +33,7 @@ pub mod stats;
 pub mod taxonomy;
 pub mod triple;
 pub mod value;
+pub mod wire;
 
 pub use checkpoint::{ArtifactKind, CheckpointError, FORMAT_VERSION, MAGIC};
 pub use codec::KvCodec;
@@ -50,3 +51,4 @@ pub use taxonomy::{
 };
 pub use triple::{DataItem, Triple};
 pub use value::{NoHierarchy, Numeric, Value, ValueHierarchy};
+pub use wire::{read_frame, write_frame, TaskSpec, WireMsg, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Perf sentinel: diff the two newest BENCH_*.json files in a trajectory.
+"""Perf sentinel: diff the newest BENCH_*.json against its trajectory.
 
 Usage:
 
     python3 scripts/bench_check.py BENCH_pr5.json BENCH_pr7.json BENCH_ci.json
 
-The *last two* files in argument order are compared — latest against
-previous; earlier files only document the trajectory. Every row id
-present in both is checked against a per-prefix tolerance band:
+The *last* file in argument order is the run under test; its baseline is
+the per-row **best of the two preceding files** (when only two files are
+given, the single preceding file). Best means the lower `mean_ns` for
+timing rows and the higher `mean_qps` for throughput rows — one lucky
+runner in the previous CI run must not ratchet the bar down for
+everyone after. Quality/value rows take the *newer* committed value
+("best" is undefined for a drift-in-either-direction metric), and a row
+missing from the newer file falls back to the older one. Earlier files
+only document the trajectory. Every baselined row id present in the run
+under test is checked against a per-prefix tolerance band:
 
     prefix      metric        band    regression when
     trace/      mean_ns       ±50%    latest > previous * 1.5
@@ -53,6 +60,24 @@ def load_rows(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     return {row["id"]: row for row in doc.get("rows", [])}
+
+
+def best_of(older, newer):
+    """Per-row baseline from the two newest committed files: the faster
+    timing, the higher throughput, the newer value — and the older file's
+    row when the newer one dropped it."""
+    merged = dict(newer)
+    for row_id, old_row in older.items():
+        new_row = merged.get(row_id)
+        if new_row is None:
+            merged[row_id] = old_row
+        elif "mean_ns" in old_row and "mean_ns" in new_row:
+            if old_row["mean_ns"] < new_row["mean_ns"]:
+                merged[row_id] = old_row
+        elif "mean_qps" in old_row and "mean_qps" in new_row:
+            if old_row["mean_qps"] > new_row["mean_qps"]:
+                merged[row_id] = old_row
+    return merged
 
 
 def fmt_ns(ns):
@@ -122,11 +147,21 @@ def main():
     paths = sys.argv[1:]
     if len(paths) < 2:
         print("usage: bench_check.py BENCH_old.json ... BENCH_new.json", file=sys.stderr)
-        print("(needs at least two files; the last two are compared)", file=sys.stderr)
+        print(
+            "(needs at least two files; the last is checked against the "
+            "best of the two before it)",
+            file=sys.stderr,
+        )
         return 2
-    prev_path, latest_path = paths[-2], paths[-1]
-    print(f"bench-check: {latest_path} vs {prev_path}")
-    compared, regressions = check(load_rows(prev_path), load_rows(latest_path))
+    latest_path = paths[-1]
+    if len(paths) >= 3:
+        older_path, newer_path = paths[-3], paths[-2]
+        print(f"bench-check: {latest_path} vs best of {older_path} + {newer_path}")
+        baseline = best_of(load_rows(older_path), load_rows(newer_path))
+    else:
+        print(f"bench-check: {latest_path} vs {paths[-2]}")
+        baseline = load_rows(paths[-2])
+    compared, regressions = check(baseline, load_rows(latest_path))
     print(f"bench-check: {compared} rows compared, {len(regressions)} regressed")
     if regressions:
         for row_id in regressions:
